@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness (pytest-benchmark)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import gauss_seidel, pw_advection
+
+
+@pytest.fixture(scope="session")
+def gs_grid():
+    """A grid large enough for meaningful timing yet fast in pure Python."""
+    n = 48
+    return n, gauss_seidel.initial_condition(n)
+
+
+@pytest.fixture(scope="session")
+def pw_grid():
+    n = 32
+    return n, pw_advection.initial_fields(n)

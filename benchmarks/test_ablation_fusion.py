@@ -1,0 +1,32 @@
+"""Ablation E9 — stencil fusion on/off for PW advection."""
+
+import pytest
+
+from repro.apps import pw_advection
+from repro.compiler import Target, compile_fortran
+from repro.harness import format_table, fusion_ablation
+
+
+@pytest.mark.parametrize("fuse", [True, False], ids=["fused", "unfused"])
+def test_compile_and_run_pw(benchmark, fuse):
+    n = 16
+    result = compile_fortran(pw_advection.generate_source(n), Target.STENCIL_CPU,
+                             fuse_stencils=fuse)
+    fields = [f.copy(order="F") for f in pw_advection.initial_fields(n)]
+    interp = result.interpreter()
+
+    def run():
+        interp.call("pw_advection", *fields)
+
+    benchmark(run)
+    applies = sum(1 for op in result.stencil_module.walk() if op.name == "stencil.apply")
+    benchmark.extra_info["stencil_applies"] = applies
+    assert applies == (1 if fuse else 3)
+
+
+def test_fusion_ablation_table(benchmark):
+    result = benchmark(fusion_ablation, 10)
+    print()
+    print(format_table(result))
+    rows = {row[0]: row for row in result.rows}
+    assert rows["fused"][2] > rows["unfused"][2]

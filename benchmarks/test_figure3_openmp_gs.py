@@ -1,0 +1,34 @@
+"""Figure 3 — multithreaded (OpenMP) Gauss-Seidel at 2.1 billion cells."""
+
+import pytest
+
+from repro.apps import gauss_seidel
+from repro.compiler import Target, compile_fortran
+from repro.harness import figure3_openmp_gauss_seidel, format_table
+
+
+def test_openmp_lowered_execution(benchmark):
+    n = 24
+    result = compile_fortran(gauss_seidel.generate_source(n, niters=1),
+                             Target.STENCIL_OPENMP, lower_to_scf=True)
+    init = gauss_seidel.initial_condition(n)
+    interp = result.interpreter()
+
+    def run():
+        interp.call("gauss_seidel", init.copy(order="F"))
+
+    benchmark(run)
+    assert interp.stats["omp_regions"] >= 1
+
+
+def test_figure3_table_regeneration(benchmark):
+    result = benchmark(figure3_openmp_gauss_seidel)
+    print()
+    print(format_table(result))
+    by_threads = {}
+    for _, threads, compiler, mcells in result.rows:
+        by_threads.setdefault(threads, {})[compiler] = mcells
+    for threads, values in by_threads.items():
+        assert values["cray"] > values["stencil"] > values["flang"], threads
+    # Scaling: every flow speeds up from 1 to 128 threads.
+    assert by_threads[128]["stencil"] > 5 * by_threads[1]["stencil"]

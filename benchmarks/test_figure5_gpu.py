@@ -1,0 +1,53 @@
+"""Figure 5 — GPU performance and the data-management comparison (+ ablation E8)."""
+
+import pytest
+
+from repro.apps import gauss_seidel
+from repro.compiler import Target, compile_fortran
+from repro.harness import figure5_gpu, format_table, gpu_data_ablation
+from repro.runtime import SimulatedGPU
+
+
+@pytest.mark.parametrize("strategy", ["optimised", "host_register"])
+def test_gpu_execution_per_strategy(benchmark, strategy):
+    n = 24
+    result = compile_fortran(gauss_seidel.generate_source(n, niters=1),
+                             Target.STENCIL_GPU, gpu_data_strategy=strategy)
+    init = gauss_seidel.initial_condition(n)
+
+    def run():
+        device = SimulatedGPU()
+        interp = result.interpreter(gpu=device)
+        interp.call("gauss_seidel", init.copy(order="F"))
+        return device
+
+    device = benchmark(run)
+    benchmark.extra_info["pcie_bytes"] = device.transferred_bytes()
+
+
+def test_gpu_data_ablation_traffic(benchmark):
+    result = benchmark(gpu_data_ablation, 12, 4)
+    print()
+    print(format_table(result))
+    rows = {row[0]: row for row in result.rows}
+    assert rows["host_register"][4] > 0
+    assert rows["optimised"][4] == 0
+
+
+def test_figure5_table_regeneration(benchmark):
+    result = benchmark(figure5_gpu, False)
+    print()
+    print(format_table(result))
+    by_config = {}
+    for bench, size, strategy, mcells in result.rows:
+        by_config.setdefault((bench, size), {})[strategy] = mcells
+    for (bench, size), values in by_config.items():
+        # The optimised data pass always beats the initial host_register approach.
+        assert values["stencil_optimised"] > values["stencil_host_register"]
+        # PW advection beats hand-written OpenACC for every size (paper ~15x).
+        if bench == "pw_advection":
+            assert values["stencil_optimised"] > 3 * values["openacc_nvidia"]
+        else:
+            # Gauss-Seidel: comparable (within ~2.5x) as reported in the paper.
+            ratio = values["stencil_optimised"] / values["openacc_nvidia"]
+            assert 0.5 <= ratio <= 2.5

@@ -1,0 +1,58 @@
+"""Compile-time benchmarks: discovery, extraction and the Listing-4 pipeline."""
+
+import pytest
+
+from repro.apps import gauss_seidel, pw_advection
+from repro.compiler import Target, compile_fortran
+from repro.frontend import compile_to_fir
+from repro.ir import PassManager, default_context, parse_pipeline, print_module, parse_module
+from repro.transforms import GPU_PIPELINE, StencilDiscoveryPass, ExtractStencilsPass
+
+
+def test_frontend_compile_time(benchmark):
+    source = pw_advection.generate_source(64)
+    benchmark(compile_to_fir, source)
+
+
+def test_discovery_pass_time(benchmark):
+    source = pw_advection.generate_source(64)
+
+    def run():
+        module = compile_to_fir(source)
+        StencilDiscoveryPass().apply(default_context(), module)
+        return module
+
+    module = benchmark(run)
+    assert any(op.name == "stencil.apply" for op in module.walk())
+
+
+def test_full_stencil_flow_compile_time(benchmark):
+    source = gauss_seidel.generate_source(64, niters=10)
+    result = benchmark(compile_fortran, source, Target.STENCIL_CPU)
+    assert result.extracted_functions
+
+
+def test_listing4_pipeline_parse_and_run(benchmark):
+    """The paper's Listing 4 mlir-opt pipeline, parsed and applied."""
+    source = gauss_seidel.generate_source(32, niters=1)
+    result = compile_fortran(source, Target.STENCIL_CPU)
+
+    def run():
+        module = result.stencil_module.clone()
+        pm = PassManager(verify_each=False)
+        pm.add_pipeline("convert-stencil-to-scf{target=gpu}," + GPU_PIPELINE)
+        pm.run(module)
+        return module
+
+    module = benchmark(run)
+    assert any(op.name == "gpu.launch_func" for op in module.walk())
+
+
+def test_ir_print_parse_roundtrip_time(benchmark):
+    module = compile_to_fir(pw_advection.generate_source(32))
+
+    def run():
+        return parse_module(print_module(module))
+
+    reparsed = benchmark(run)
+    assert print_module(reparsed) == print_module(module)

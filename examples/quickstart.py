@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a Fortran stencil kernel with the stencil flow and run it.
+
+This reproduces the paper's core idea on the Listing 1 example: unmodified
+serial Fortran goes in, the compiler discovers the stencil in the FIR, extracts
+it into a separate stencil-dialect module, and the program runs with the
+optimised (vectorised) stencil execution path.
+"""
+
+import numpy as np
+
+from repro import Target, compile_fortran
+from repro.ir import print_module
+
+FORTRAN_SOURCE = """
+subroutine average(data)
+  implicit none
+  integer, parameter :: n = 128
+  real(kind=8), intent(inout) :: data(n, n)
+  integer :: i, j
+  do i = 2, n - 1
+    do j = 2, n - 1
+      data(j, i) = (data(j, i-1) + data(j, i+1) + data(j-1, i) + data(j+1, i)) * 0.25
+    end do
+  end do
+end subroutine average
+"""
+
+
+def main() -> None:
+    # 1. Compile: Fortran -> FIR -> stencil discovery -> extraction.
+    result = compile_fortran(FORTRAN_SOURCE, Target.STENCIL_CPU)
+    print(f"discovered stencils : {result.discovered_stencils}")
+    print(f"extracted functions : {result.extracted_functions}")
+
+    # 2. Inspect the extracted stencil module (the paper's Listing 2 shape).
+    print("\n--- extracted stencil module (excerpt) ---")
+    print("\n".join(print_module(result.stencil_module).splitlines()[:24]))
+
+    # 3. Execute and check against a numpy reference.
+    rng = np.random.default_rng(0)
+    data = np.asfortranarray(rng.random((128, 128)))
+    expected = data.copy()
+    expected[1:-1, 1:-1] = (
+        expected[1:-1, :-2] + expected[1:-1, 2:]
+        + expected[:-2, 1:-1] + expected[2:, 1:-1]
+    ) * 0.25
+
+    result.run("average", data)
+    print("\nmax |error| vs numpy reference:", float(np.abs(data - expected).max()))
+
+
+if __name__ == "__main__":
+    main()

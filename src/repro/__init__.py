@@ -1,0 +1,43 @@
+"""repro — reproduction of Brown et al., "Fortran performance optimisation and
+auto-parallelisation by leveraging MLIR-based domain specific abstractions in
+Flang" (SC-W 2023).
+
+The package contains:
+
+* :mod:`repro.ir` — an xDSL/MLIR-equivalent SSA IR framework,
+* :mod:`repro.dialects` — the dialects used by the flow (FIR, stencil, scf,
+  OpenMP, GPU, DMP, MPI, ...),
+* :mod:`repro.frontend` — a Fortran-subset frontend that emits FIR the way
+  Flang does,
+* :mod:`repro.transforms` — the paper's stencil discovery/extraction passes
+  and the lowerings to each target,
+* :mod:`repro.runtime` — interpreters, simulated GPU/MPI substrates and the
+  machine performance models,
+* :mod:`repro.apps` — the Gauss-Seidel and PW advection benchmarks,
+* :mod:`repro.harness` — experiment drivers regenerating every figure of the
+  paper's evaluation.
+
+The high-level compiler driver (:mod:`repro.compiler`) is re-exported lazily
+so that importing :mod:`repro` stays cheap.
+"""
+
+__version__ = "1.0.0"
+
+_LAZY_EXPORTS = {
+    "CompilerDriver": "repro.compiler",
+    "CompilerOptions": "repro.compiler",
+    "CompilationResult": "repro.compiler",
+    "Target": "repro.compiler",
+    "compile_fortran": "repro.compiler",
+}
+
+__all__ = ["__version__", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_LAZY_EXPORTS[name])
+        return getattr(module, name)
+    raise AttributeError(f"module 'repro' has no attribute '{name}'")

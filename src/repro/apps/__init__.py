@@ -1,0 +1,5 @@
+"""Benchmark applications: the two stencil codes evaluated in the paper."""
+
+from . import gauss_seidel, pw_advection
+
+__all__ = ["gauss_seidel", "pw_advection"]

@@ -1,0 +1,42 @@
+"""Dialect definitions and the convenience all-dialect registration helper."""
+
+from ..ir.context import Context
+from .arith import Arith
+from .builtin import Builtin
+from .dmp import DMP
+from .fir import FIR
+from .func import Func
+from .gpu import GPU
+from .llvm import LLVM
+from .math_dialect import Math
+from .memref import MemRef
+from .mpi import MPI
+from .omp import OMP
+from .scf import Scf
+from .stencil import Stencil
+
+ALL_DIALECTS = [
+    Builtin,
+    Arith,
+    Math,
+    Func,
+    Scf,
+    MemRef,
+    FIR,
+    Stencil,
+    OMP,
+    GPU,
+    DMP,
+    MPI,
+    LLVM,
+]
+
+
+def register_all_dialects(ctx: Context) -> Context:
+    """Register every dialect shipped by this package into ``ctx``."""
+    for dialect in ALL_DIALECTS:
+        ctx.register_dialect(dialect)
+    return ctx
+
+
+__all__ = ["ALL_DIALECTS", "register_all_dialects"]

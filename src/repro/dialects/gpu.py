@@ -1,0 +1,275 @@
+"""The ``gpu`` dialect: kernels, device memory and host/device transfers.
+
+The paper's GPU flow (§4.3) relies on two data-management strategies that are
+both representable here:
+
+* the *initial* approach: ``gpu.host_register`` on every stencil array, which
+  pages data across PCIe on demand, and
+* the *optimised* approach produced by the bespoke data-management pass:
+  explicit ``gpu.alloc`` / ``gpu.memcpy`` / ``gpu.dealloc`` calls inserted
+  around the stencil invocations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir.attributes import DenseArrayAttr, StringAttr, SymbolRefAttr, UnitAttr
+from ..ir.context import Dialect
+from ..ir.operation import Block, Operation, Region, VerifyException
+from ..ir.ssa import SSAValue
+from ..ir.traits import (
+    HasMemoryEffect,
+    IsTerminator,
+    IsolatedFromAbove,
+    NoTerminator,
+    SingleBlockRegion,
+    SymbolOpInterface,
+)
+from ..ir.types import FunctionType, MemRefType, TypeAttribute, index
+
+
+class GPUModuleOp(Operation):
+    """``gpu.module`` — container of device kernels."""
+
+    name = "gpu.module"
+    traits = (SingleBlockRegion, NoTerminator, IsolatedFromAbove, SymbolOpInterface)
+
+    def __init__(self, sym_name: str, ops: Sequence[Operation] = ()):
+        super().__init__(
+            attributes={"sym_name": StringAttr(sym_name)},
+            regions=[Region([Block(ops=ops)])],
+        )
+
+    @property
+    def sym_name(self) -> str:
+        return self.get_attr("sym_name").data  # type: ignore[union-attr]
+
+
+class GPUFuncOp(Operation):
+    """``gpu.func`` — a device kernel."""
+
+    name = "gpu.func"
+    traits = (IsolatedFromAbove, SymbolOpInterface)
+
+    def __init__(self, sym_name: str, arg_types: Sequence[TypeAttribute]):
+        region = Region([Block(arg_types=arg_types)])
+        super().__init__(
+            attributes={
+                "sym_name": StringAttr(sym_name),
+                "function_type": _function_type_attr(arg_types),
+                "kernel": UnitAttr(),
+            },
+            regions=[region],
+        )
+
+    @property
+    def sym_name(self) -> str:
+        return self.get_attr("sym_name").data  # type: ignore[union-attr]
+
+    @property
+    def entry_block(self) -> Block:
+        return self.body.block
+
+
+def _function_type_attr(arg_types: Sequence[TypeAttribute]):
+    from ..ir.attributes import TypeAttr
+
+    return TypeAttr(FunctionType(arg_types, ()))
+
+
+class ReturnOp(Operation):
+    """``gpu.return`` — terminator of device kernels."""
+
+    name = "gpu.return"
+    traits = (IsTerminator,)
+
+    def __init__(self):
+        super().__init__()
+
+
+class LaunchFuncOp(Operation):
+    """``gpu.launch_func`` — launch a kernel with a static grid/block shape.
+
+    Grid and block dimensions are carried as attributes (the sizes are known
+    after tiling); operands are the kernel arguments.
+    """
+
+    name = "gpu.launch_func"
+
+    def __init__(
+        self,
+        kernel: str,
+        grid_size: Sequence[int],
+        block_size: Sequence[int],
+        arguments: Sequence[SSAValue] = (),
+        asynchronous: bool = False,
+    ):
+        attributes = {
+            "kernel": SymbolRefAttr(kernel),
+            "grid_size": DenseArrayAttr(grid_size),
+            "block_size": DenseArrayAttr(block_size),
+        }
+        if asynchronous:
+            attributes["async"] = UnitAttr()
+        super().__init__(operands=arguments, attributes=attributes)
+
+    @property
+    def kernel(self) -> str:
+        return self.get_attr("kernel").root  # type: ignore[union-attr]
+
+    @property
+    def grid_size(self) -> Sequence[int]:
+        return self.get_attr("grid_size").as_tuple()  # type: ignore[union-attr]
+
+    @property
+    def block_size(self) -> Sequence[int]:
+        return self.get_attr("block_size").as_tuple()  # type: ignore[union-attr]
+
+    def verify_(self) -> None:
+        if len(self.grid_size) != 3 or len(self.block_size) != 3:
+            raise VerifyException(
+                "gpu.launch_func: grid_size and block_size must have 3 entries"
+            )
+
+
+class AllocOp(Operation):
+    """``gpu.alloc`` — allocate device memory."""
+
+    name = "gpu.alloc"
+    traits = (HasMemoryEffect,)
+
+    def __init__(self, result_type: MemRefType, dynamic_sizes: Sequence[SSAValue] = ()):
+        super().__init__(operands=dynamic_sizes, result_types=[result_type])
+
+    @property
+    def memref_type(self) -> MemRefType:
+        return self.results[0].type  # type: ignore[return-value]
+
+
+class DeallocOp(Operation):
+    """``gpu.dealloc`` — free device memory."""
+
+    name = "gpu.dealloc"
+    traits = (HasMemoryEffect,)
+
+    def __init__(self, memref: SSAValue):
+        super().__init__(operands=[memref])
+
+
+class MemcpyOp(Operation):
+    """``gpu.memcpy`` — copy between host and device memrefs (dst, src)."""
+
+    name = "gpu.memcpy"
+    traits = (HasMemoryEffect,)
+
+    def __init__(self, dst: SSAValue, src: SSAValue):
+        super().__init__(operands=[dst, src])
+
+    @property
+    def dst(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def src(self) -> SSAValue:
+        return self.operands[1]
+
+
+class HostRegisterOp(Operation):
+    """``gpu.host_register`` — page-lock host memory and make it device
+    accessible (the paper's *initial*, slow, data strategy)."""
+
+    name = "gpu.host_register"
+    traits = (HasMemoryEffect,)
+
+    def __init__(self, memref: SSAValue):
+        super().__init__(operands=[memref])
+
+
+class HostUnregisterOp(Operation):
+    """``gpu.host_unregister`` — undo ``gpu.host_register``."""
+
+    name = "gpu.host_unregister"
+    traits = (HasMemoryEffect,)
+
+    def __init__(self, memref: SSAValue):
+        super().__init__(operands=[memref])
+
+
+class _IdOp(Operation):
+    """Base of thread/block id and dim queries; the dimension is x, y or z."""
+
+    def __init__(self, dimension: str):
+        if dimension not in ("x", "y", "z"):
+            raise ValueError("gpu id dimension must be 'x', 'y' or 'z'")
+        super().__init__(
+            result_types=[index], attributes={"dimension": StringAttr(dimension)}
+        )
+
+    @property
+    def dimension(self) -> str:
+        return self.get_attr("dimension").data  # type: ignore[union-attr]
+
+
+class ThreadIdOp(_IdOp):
+    name = "gpu.thread_id"
+
+
+class BlockIdOp(_IdOp):
+    name = "gpu.block_id"
+
+
+class BlockDimOp(_IdOp):
+    name = "gpu.block_dim"
+
+
+class GridDimOp(_IdOp):
+    name = "gpu.grid_dim"
+
+
+class GPUBarrierOp(Operation):
+    """``gpu.barrier`` — synchronise threads within a block."""
+
+    name = "gpu.barrier"
+
+    def __init__(self):
+        super().__init__()
+
+
+GPU = Dialect(
+    "gpu",
+    [
+        GPUModuleOp,
+        GPUFuncOp,
+        ReturnOp,
+        LaunchFuncOp,
+        AllocOp,
+        DeallocOp,
+        MemcpyOp,
+        HostRegisterOp,
+        HostUnregisterOp,
+        ThreadIdOp,
+        BlockIdOp,
+        BlockDimOp,
+        GridDimOp,
+        GPUBarrierOp,
+    ],
+)
+
+__all__ = [
+    "GPUModuleOp",
+    "GPUFuncOp",
+    "ReturnOp",
+    "LaunchFuncOp",
+    "AllocOp",
+    "DeallocOp",
+    "MemcpyOp",
+    "HostRegisterOp",
+    "HostUnregisterOp",
+    "ThreadIdOp",
+    "BlockIdOp",
+    "BlockDimOp",
+    "GridDimOp",
+    "GPUBarrierOp",
+    "GPU",
+]

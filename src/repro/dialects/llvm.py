@@ -1,0 +1,75 @@
+"""A minimal ``llvm`` dialect: pointer type and calls.
+
+Only the pieces needed to mirror the paper's FIR/LLVM pointer interoperability
+trick are modelled: the extracted stencil functions accept ``!llvm.ptr``
+arguments while the FIR module passes ``!fir.llvm_ptr`` values, the two being
+semantically identical (§3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from ..ir.attributes import SymbolRefAttr
+from ..ir.context import Dialect
+from ..ir.operation import Operation
+from ..ir.ssa import SSAValue
+from ..ir.types import TypeAttribute
+
+
+class LLVMPointerType(TypeAttribute):
+    """``!llvm.ptr`` (optionally carrying a pointee type for readability)."""
+
+    name = "llvm.ptr"
+
+    def __init__(self, pointee: Optional[TypeAttribute] = None):
+        self.pointee = pointee
+
+    @property
+    def element_type(self) -> Optional[TypeAttribute]:
+        return self.pointee
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.pointee,)
+
+    def print(self) -> str:
+        if self.pointee is None:
+            return "!llvm.ptr<>"
+        return f"!llvm.ptr<{self.pointee.print()}>"
+
+
+class CallOp(Operation):
+    """``llvm.call`` — call into a linked symbol."""
+
+    name = "llvm.call"
+
+    def __init__(
+        self,
+        callee: str,
+        arguments: Sequence[SSAValue],
+        result_types: Sequence[TypeAttribute] = (),
+    ):
+        super().__init__(
+            operands=arguments,
+            result_types=result_types,
+            attributes={"callee": SymbolRefAttr(callee)},
+        )
+
+    @property
+    def callee(self) -> str:
+        return self.get_attr("callee").root  # type: ignore[union-attr]
+
+
+def _parse_ptr(parser) -> LLVMPointerType:
+    if parser.try_consume("<"):
+        if parser.try_consume(">"):
+            return LLVMPointerType(None)
+        pointee = parser.parse_type()
+        parser.expect(">")
+        return LLVMPointerType(pointee)
+    return LLVMPointerType(None)
+
+
+LLVM = Dialect("llvm", [CallOp], type_parsers={"ptr": _parse_ptr})
+
+__all__ = ["LLVMPointerType", "CallOp", "LLVM"]

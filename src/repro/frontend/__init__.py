@@ -1,0 +1,36 @@
+"""Fortran frontend ("mini-Flang"): lexer, parser, semantics, FIR generation.
+
+The top-level helper :func:`compile_to_fir` is the equivalent of running
+``flang -fc1 -emit-mlir`` in the paper's pipeline: Fortran source text in, a
+FIR-dialect module out.
+"""
+
+from .ast_nodes import ProgramUnit, SourceFile
+from .fir_gen import CodegenError, generate_fir
+from .lexer import LexError, Token, tokenize
+from .parser import FortranParser, FortranSyntaxError, parse_source
+from .symbols import DimInfo, SemanticError, Symbol, SymbolTable
+
+
+def compile_to_fir(source: str):
+    """Parse Fortran ``source`` and lower it to a FIR-dialect module."""
+    return generate_fir(parse_source(source))
+
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "LexError",
+    "parse_source",
+    "FortranParser",
+    "FortranSyntaxError",
+    "SourceFile",
+    "ProgramUnit",
+    "SymbolTable",
+    "Symbol",
+    "DimInfo",
+    "SemanticError",
+    "generate_fir",
+    "CodegenError",
+    "compile_to_fir",
+]

@@ -1,0 +1,30 @@
+"""Experiment harness: one driver per paper figure plus ablations."""
+
+from .experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    distributed_functional_check,
+    figure2_single_core,
+    figure3_openmp_gauss_seidel,
+    figure4_openmp_pw_advection,
+    figure5_gpu,
+    figure6_distributed,
+    fusion_ablation,
+    gpu_data_ablation,
+)
+from .reporting import format_table, run_all
+
+__all__ = [
+    "ExperimentResult",
+    "figure2_single_core",
+    "figure3_openmp_gauss_seidel",
+    "figure4_openmp_pw_advection",
+    "figure5_gpu",
+    "figure6_distributed",
+    "gpu_data_ablation",
+    "fusion_ablation",
+    "distributed_functional_check",
+    "ALL_EXPERIMENTS",
+    "format_table",
+    "run_all",
+]

@@ -1,0 +1,52 @@
+"""Plain-text reporting of experiment results (the rows the paper plots)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .experiments import ExperimentResult
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(result: "ExperimentResult") -> str:
+    """Render an ExperimentResult as an aligned text table."""
+    header = [str(c) for c in result.columns]
+    rows = [[_format_value(v) for v in row] for row in result.rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        f"# {result.experiment}: {result.description}",
+        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if result.notes:
+        lines.append("")
+        for key, value in result.notes.items():
+            lines.append(f"  note[{key}] = {value}")
+    return "\n".join(lines)
+
+
+def run_all(names: Iterable[str] = ()) -> str:
+    """Run the requested experiments (all by default) and return their tables."""
+    from .experiments import ALL_EXPERIMENTS
+
+    names = list(names) or list(ALL_EXPERIMENTS)
+    sections: List[str] = []
+    for name in names:
+        sections.append(format_table(ALL_EXPERIMENTS[name]()))
+    return "\n\n".join(sections)
+
+
+__all__ = ["format_table", "run_all"]

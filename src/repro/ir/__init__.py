@@ -1,0 +1,128 @@
+"""Core SSA IR framework (the project's xDSL/MLIR equivalent).
+
+Exports the structural classes (values, operations, blocks, regions), the
+attribute/type system, the builder, the textual printer/parser, pattern
+rewriting and the pass manager.
+"""
+
+from .attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DenseArrayAttr,
+    DenseElementsAttr,
+    DictionaryAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    TypeAttribute,
+    UnitAttr,
+)
+from .builder import Builder, InsertPoint
+from .context import Context, Dialect, default_context
+from .operation import Block, IRError, Operation, Region, VerifyException
+from .parser import IRParser, ParseError, parse_module
+from .pass_manager import (
+    GLOBAL_PASS_REGISTRY,
+    ModulePass,
+    PassManager,
+    PassRegistry,
+    parse_pipeline,
+    register_pass,
+)
+from .printer import Printer, print_module, print_op
+from .rewriting import (
+    GreedyRewriteResult,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns,
+)
+from .ssa import BlockArgument, OpResult, SSAValue, Use
+from .types import (
+    DYNAMIC,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    TensorType,
+    f32,
+    f64,
+    i1,
+    i32,
+    i64,
+    index,
+    is_float_type,
+    is_integer_like,
+    none,
+)
+
+__all__ = [
+    # attributes
+    "Attribute",
+    "TypeAttribute",
+    "UnitAttr",
+    "StringAttr",
+    "BoolAttr",
+    "IntegerAttr",
+    "FloatAttr",
+    "ArrayAttr",
+    "DenseArrayAttr",
+    "DictionaryAttr",
+    "SymbolRefAttr",
+    "TypeAttr",
+    "DenseElementsAttr",
+    # types
+    "DYNAMIC",
+    "IntegerType",
+    "IndexType",
+    "FloatType",
+    "NoneType",
+    "FunctionType",
+    "MemRefType",
+    "TensorType",
+    "i1",
+    "i32",
+    "i64",
+    "f32",
+    "f64",
+    "index",
+    "none",
+    "is_float_type",
+    "is_integer_like",
+    # ssa & structure
+    "SSAValue",
+    "OpResult",
+    "BlockArgument",
+    "Use",
+    "Operation",
+    "Block",
+    "Region",
+    "IRError",
+    "VerifyException",
+    # tooling
+    "Builder",
+    "InsertPoint",
+    "Context",
+    "Dialect",
+    "default_context",
+    "Printer",
+    "print_op",
+    "print_module",
+    "IRParser",
+    "ParseError",
+    "parse_module",
+    "RewritePattern",
+    "PatternRewriter",
+    "GreedyRewriteResult",
+    "apply_patterns",
+    "ModulePass",
+    "PassManager",
+    "PassRegistry",
+    "GLOBAL_PASS_REGISTRY",
+    "register_pass",
+    "parse_pipeline",
+]

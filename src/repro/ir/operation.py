@@ -1,0 +1,442 @@
+"""Operations, blocks and regions — the structural core of the IR.
+
+The three classes are mutually recursive (operations contain regions, regions
+contain blocks, blocks contain operations) and therefore live in one module.
+``repro.ir`` re-exports them individually.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .attributes import Attribute, TypeAttribute
+from .ssa import BlockArgument, OpResult, SSAValue, Use
+
+
+class IRError(Exception):
+    """Base class for IR construction / manipulation errors."""
+
+
+class VerifyException(IRError):
+    """Raised when an operation or module fails verification."""
+
+
+class Operation:
+    """A generic SSA operation.
+
+    Concrete operations subclass this and set :attr:`name`; the base class is
+    also usable directly for unregistered operations (e.g. round-tripping IR
+    containing dialects we do not model).
+    """
+
+    #: Fully qualified operation name, e.g. ``"arith.addf"``.
+    name: str = "builtin.unregistered"
+
+    #: Trait classes attached to the operation (see :mod:`repro.ir.traits`).
+    traits: Tuple[type, ...] = ()
+
+    def __init__(
+        self,
+        operands: Sequence[SSAValue] = (),
+        result_types: Sequence[TypeAttribute] = (),
+        attributes: Optional[Dict[str, Attribute]] = None,
+        regions: Sequence["Region"] = (),
+    ):
+        self._operands: List[SSAValue] = []
+        self.results: List[OpResult] = [
+            OpResult(t, self, i) for i, t in enumerate(result_types)
+        ]
+        self.attributes: Dict[str, Attribute] = dict(attributes or {})
+        self.regions: List[Region] = []
+        self.parent: Optional[Block] = None
+
+        for operand in operands:
+            self.add_operand(operand)
+        for region in regions:
+            self.add_region(region)
+
+    # ------------------------------------------------------------------
+    # Operand management
+    # ------------------------------------------------------------------
+
+    @property
+    def operands(self) -> Tuple[SSAValue, ...]:
+        return tuple(self._operands)
+
+    def add_operand(self, value: SSAValue) -> None:
+        if not isinstance(value, SSAValue):
+            raise IRError(
+                f"operand of {self.name} must be an SSAValue, got {type(value).__name__}"
+            )
+        index = len(self._operands)
+        self._operands.append(value)
+        value.add_use(Use(self, index))
+
+    def set_operand(self, index: int, value: SSAValue) -> None:
+        old = self._operands[index]
+        old.remove_use(Use(self, index))
+        self._operands[index] = value
+        value.add_use(Use(self, index))
+
+    def set_operands(self, values: Sequence[SSAValue]) -> None:
+        """Replace the whole operand list."""
+        for i, operand in enumerate(self._operands):
+            operand.remove_use(Use(self, i))
+        self._operands = []
+        for value in values:
+            self.add_operand(value)
+
+    def drop_all_operand_uses(self) -> None:
+        for i, operand in enumerate(self._operands):
+            operand.remove_use(Use(self, i))
+        self._operands = []
+
+    # ------------------------------------------------------------------
+    # Results / attributes
+    # ------------------------------------------------------------------
+
+    @property
+    def result(self) -> OpResult:
+        if len(self.results) != 1:
+            raise IRError(
+                f"operation {self.name} has {len(self.results)} results; "
+                "'.result' requires exactly one"
+            )
+        return self.results[0]
+
+    def get_attr(self, name: str) -> Attribute:
+        try:
+            return self.attributes[name]
+        except KeyError:
+            raise VerifyException(
+                f"operation {self.name} is missing required attribute '{name}'"
+            ) from None
+
+    def get_attr_or_none(self, name: str) -> Optional[Attribute]:
+        return self.attributes.get(name)
+
+    # ------------------------------------------------------------------
+    # Region management
+    # ------------------------------------------------------------------
+
+    def add_region(self, region: "Region") -> None:
+        if region.parent is not None:
+            raise IRError("region is already attached to an operation")
+        region.parent = self
+        self.regions.append(region)
+
+    @property
+    def body(self) -> "Region":
+        """Convenience accessor for single-region operations."""
+        if len(self.regions) != 1:
+            raise IRError(f"operation {self.name} has {len(self.regions)} regions")
+        return self.regions[0]
+
+    # ------------------------------------------------------------------
+    # Position / structure queries
+    # ------------------------------------------------------------------
+
+    def parent_block(self) -> Optional["Block"]:
+        return self.parent
+
+    def parent_region(self) -> Optional["Region"]:
+        return self.parent.parent if self.parent is not None else None
+
+    def parent_op(self) -> Optional["Operation"]:
+        region = self.parent_region()
+        return region.parent if region is not None else None
+
+    def is_ancestor_of(self, other: "Operation") -> bool:
+        current: Optional[Operation] = other
+        while current is not None:
+            if current is self:
+                return True
+            current = current.parent_op()
+        return False
+
+    def next_op(self) -> Optional["Operation"]:
+        if self.parent is None:
+            return None
+        ops = self.parent.ops
+        idx = ops.index(self)
+        return ops[idx + 1] if idx + 1 < len(ops) else None
+
+    def prev_op(self) -> Optional["Operation"]:
+        if self.parent is None:
+            return None
+        ops = self.parent.ops
+        idx = ops.index(self)
+        return ops[idx - 1] if idx > 0 else None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def detach(self) -> "Operation":
+        """Remove the operation from its parent block without destroying it."""
+        if self.parent is not None:
+            self.parent._detach_op(self)
+        return self
+
+    def erase(self, *, safe: bool = True) -> None:
+        """Remove the operation from the IR and drop its operand uses.
+
+        With ``safe=True`` (the default) erasing an operation whose results are
+        still used raises :class:`IRError`.
+        """
+        if safe:
+            for res in self.results:
+                if res.has_uses:
+                    raise IRError(
+                        f"cannot erase {self.name}: result %{res.index} still has "
+                        f"{len(res.uses)} use(s)"
+                    )
+        self.detach()
+        self.drop_all_operand_uses()
+        # Recursively erase nested operations so their operand uses are released.
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.ops):
+                    op.erase(safe=False)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def walk(self, *, include_self: bool = True) -> Iterator["Operation"]:
+        """Pre-order walk over this operation and everything nested inside it."""
+        if include_self:
+            yield self
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.ops):
+                    yield from op.walk(include_self=True)
+
+    def walk_type(self, op_type: type) -> Iterator["Operation"]:
+        for op in self.walk():
+            if isinstance(op, op_type):
+                yield op
+
+    # ------------------------------------------------------------------
+    # Cloning
+    # ------------------------------------------------------------------
+
+    def clone(
+        self, value_map: Optional[Dict[SSAValue, SSAValue]] = None
+    ) -> "Operation":
+        """Deep-copy the operation (and nested regions).
+
+        ``value_map`` maps values defined *outside* the clone to replacements;
+        it is extended with mappings for every value defined inside.
+        """
+        if value_map is None:
+            value_map = {}
+        new_operands = [value_map.get(o, o) for o in self._operands]
+        new_op = object.__new__(type(self))
+        Operation.__init__(
+            new_op,
+            operands=new_operands,
+            result_types=[r.type for r in self.results],
+            attributes=dict(self.attributes),
+        )
+        for old_res, new_res in zip(self.results, new_op.results):
+            value_map[old_res] = new_res
+            new_res.name_hint = old_res.name_hint
+        for region in self.regions:
+            new_op.add_region(region.clone(value_map))
+        return new_op
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def verify_(self) -> None:
+        """Per-operation verification hook; subclasses override."""
+
+    def verify(self) -> None:
+        """Verify this operation and everything nested within it."""
+        for i, operand in enumerate(self._operands):
+            found = any(
+                use.operation is self and use.index == i for use in operand.uses
+            )
+            if not found:
+                raise VerifyException(
+                    f"{self.name}: operand {i} does not have a registered use"
+                )
+        for region in self.regions:
+            if region.parent is not self:
+                raise VerifyException(f"{self.name}: region has wrong parent")
+            for block in region.blocks:
+                if block.parent is not region:
+                    raise VerifyException(f"{self.name}: block has wrong parent region")
+                for op in block.ops:
+                    if op.parent is not block:
+                        raise VerifyException(
+                            f"{self.name}: nested op {op.name} has wrong parent block"
+                        )
+        for trait in self.traits:
+            verifier = getattr(trait, "verify_trait", None)
+            if verifier is not None:
+                verifier(self)
+        self.verify_()
+        for region in self.regions:
+            for block in region.blocks:
+                for op in block.ops:
+                    op.verify()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} '{self.name}'>"
+
+
+class Block:
+    """A straight-line sequence of operations with block arguments."""
+
+    def __init__(
+        self,
+        arg_types: Sequence[TypeAttribute] = (),
+        ops: Sequence[Operation] = (),
+    ):
+        self.args: List[BlockArgument] = [
+            BlockArgument(t, self, i) for i, t in enumerate(arg_types)
+        ]
+        self._ops: List[Operation] = []
+        self.parent: Optional[Region] = None
+        for op in ops:
+            self.add_op(op)
+
+    # -- argument management --------------------------------------------
+
+    def add_arg(self, type: TypeAttribute) -> BlockArgument:
+        arg = BlockArgument(type, self, len(self.args))
+        self.args.append(arg)
+        return arg
+
+    # -- op list management ----------------------------------------------
+
+    @property
+    def ops(self) -> Tuple[Operation, ...]:
+        return tuple(self._ops)
+
+    @property
+    def first_op(self) -> Optional[Operation]:
+        return self._ops[0] if self._ops else None
+
+    @property
+    def last_op(self) -> Optional[Operation]:
+        return self._ops[-1] if self._ops else None
+
+    def add_op(self, op: Operation) -> None:
+        if op.parent is not None:
+            raise IRError(f"operation {op.name} is already attached to a block")
+        op.parent = self
+        self._ops.append(op)
+
+    def add_ops(self, ops: Iterable[Operation]) -> None:
+        for op in ops:
+            self.add_op(op)
+
+    def index_of(self, op: Operation) -> int:
+        for i, existing in enumerate(self._ops):
+            if existing is op:
+                return i
+        raise IRError(f"operation {op.name} is not in this block")
+
+    def insert_op_at(self, index: int, op: Operation) -> None:
+        if op.parent is not None:
+            raise IRError(f"operation {op.name} is already attached to a block")
+        op.parent = self
+        self._ops.insert(index, op)
+
+    def insert_op_before(self, new_op: Operation, existing: Operation) -> None:
+        self.insert_op_at(self.index_of(existing), new_op)
+
+    def insert_op_after(self, new_op: Operation, existing: Operation) -> None:
+        self.insert_op_at(self.index_of(existing) + 1, new_op)
+
+    def insert_ops_before(
+        self, new_ops: Sequence[Operation], existing: Operation
+    ) -> None:
+        for op in new_ops:
+            self.insert_op_before(op, existing)
+
+    def _detach_op(self, op: Operation) -> None:
+        self._ops.remove(op)
+        op.parent = None
+
+    def erase_op(self, op: Operation, *, safe: bool = True) -> None:
+        if op.parent is not self:
+            raise IRError("operation is not in this block")
+        op.erase(safe=safe)
+
+    # -- queries ----------------------------------------------------------
+
+    def walk(self) -> Iterator[Operation]:
+        for op in list(self._ops):
+            yield from op.walk()
+
+    def parent_op(self) -> Optional[Operation]:
+        return self.parent.parent if self.parent is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Block with {len(self._ops)} ops, {len(self.args)} args>"
+
+
+class Region:
+    """A list of blocks owned by an operation."""
+
+    def __init__(self, blocks: Sequence[Block] = ()):
+        self.blocks: List[Block] = []
+        self.parent: Optional[Operation] = None
+        for block in blocks:
+            self.add_block(block)
+
+    @property
+    def block(self) -> Block:
+        """Convenience accessor for single-block regions."""
+        if len(self.blocks) != 1:
+            raise IRError(f"region has {len(self.blocks)} blocks, expected exactly 1")
+        return self.blocks[0]
+
+    @property
+    def first_block(self) -> Optional[Block]:
+        return self.blocks[0] if self.blocks else None
+
+    def add_block(self, block: Block) -> None:
+        if block.parent is not None:
+            raise IRError("block is already attached to a region")
+        block.parent = self
+        self.blocks.append(block)
+
+    def walk(self) -> Iterator[Operation]:
+        for block in self.blocks:
+            yield from block.walk()
+
+    def clone(self, value_map: Optional[Dict[SSAValue, SSAValue]] = None) -> "Region":
+        if value_map is None:
+            value_map = {}
+        new_region = Region()
+        # First create all blocks and their arguments so forward references work.
+        for block in self.blocks:
+            new_block = Block(arg_types=[a.type for a in block.args])
+            for old_arg, new_arg in zip(block.args, new_block.args):
+                value_map[old_arg] = new_arg
+                new_arg.name_hint = old_arg.name_hint
+            new_region.add_block(new_block)
+        for block, new_block in zip(self.blocks, new_region.blocks):
+            for op in block.ops:
+                new_block.add_op(op.clone(value_map))
+        return new_region
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Region with {len(self.blocks)} blocks>"
+
+
+__all__ = ["Operation", "Block", "Region", "IRError", "VerifyException"]

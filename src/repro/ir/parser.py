@@ -1,0 +1,507 @@
+"""Textual IR parser for the generic operation syntax emitted by the printer.
+
+The parser is character-based recursive descent.  It accepts the output of
+:mod:`repro.ir.printer` (round-trip stable) as well as modestly hand-written
+generic-syntax IR used in tests.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DenseArrayAttr,
+    DenseElementsAttr,
+    DictionaryAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    UnitAttr,
+)
+from .context import Context
+from .operation import Block, Operation, Region
+from .ssa import SSAValue
+from .types import (
+    DYNAMIC,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    TensorType,
+    TypeAttribute,
+)
+
+
+class ParseError(Exception):
+    """Raised on malformed textual IR, with line/column context."""
+
+    def __init__(self, message: str, text: str = "", pos: int = 0):
+        if text:
+            line = text.count("\n", 0, pos) + 1
+            col = pos - (text.rfind("\n", 0, pos) + 1) + 1
+            snippet = text[max(0, pos - 30) : pos + 30].replace("\n", "\\n")
+            message = f"{message} (line {line}, column {col}, near '...{snippet}...')"
+        super().__init__(message)
+
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.$\-]*")
+_VALUE_ID_RE = re.compile(r"[A-Za-z0-9_.$\-]+")
+_NUMBER_RE = re.compile(
+    r"-?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+|\d+|inf|nan)"
+)
+_INT_RE = re.compile(r"-?\d+")
+
+
+class IRParser:
+    """Parses generic-syntax IR into operation objects."""
+
+    def __init__(self, text: str, context: Optional[Context] = None):
+        self.text = text
+        self.pos = 0
+        if context is None:
+            from .context import default_context
+
+            context = default_context()
+        self.context = context
+        self.values: Dict[str, SSAValue] = {}
+
+    # ------------------------------------------------------------------
+    # Low-level cursor helpers
+    # ------------------------------------------------------------------
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif self.text.startswith("//", self.pos):
+                nl = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if nl == -1 else nl
+            else:
+                break
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self.text, self.pos)
+
+    def at_end(self) -> bool:
+        self._skip_ws()
+        return self.pos >= len(self.text)
+
+    def peek(self, literal: str) -> bool:
+        self._skip_ws()
+        return self.text.startswith(literal, self.pos)
+
+    def try_consume(self, literal: str) -> bool:
+        if self.peek(literal):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.try_consume(literal):
+            raise self._error(f"expected '{literal}'")
+
+    def _consume_regex(self, pattern: re.Pattern) -> Optional[str]:
+        self._skip_ws()
+        match = pattern.match(self.text, self.pos)
+        if match is None:
+            return None
+        self.pos = match.end()
+        return match.group(0)
+
+    def parse_ident(self) -> str:
+        ident = self._consume_regex(_IDENT_RE)
+        if ident is None:
+            raise self._error("expected identifier")
+        return ident
+
+    def parse_string_literal(self) -> str:
+        self._skip_ws()
+        if not self.try_consume('"'):
+            raise self._error("expected string literal")
+        out = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated string literal")
+            ch = self.text[self.pos]
+            self.pos += 1
+            if ch == "\\":
+                nxt = self.text[self.pos]
+                self.pos += 1
+                out.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(nxt, nxt))
+            elif ch == '"':
+                break
+            else:
+                out.append(ch)
+        return "".join(out)
+
+    def parse_integer(self) -> int:
+        token = self._consume_regex(_INT_RE)
+        if token is None:
+            raise self._error("expected integer")
+        return int(token)
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+
+    def parse_type(self) -> TypeAttribute:
+        self._skip_ws()
+        if self.try_consume("!"):
+            return self._parse_dialect_type()
+        if self.peek("("):
+            return self._parse_function_type()
+        ident = self._consume_regex(re.compile(r"[A-Za-z][A-Za-z0-9_]*"))
+        if ident is None:
+            raise self._error("expected a type")
+        if ident == "index":
+            return IndexType()
+        if ident == "none":
+            return NoneType()
+        if re.fullmatch(r"i\d+", ident):
+            return IntegerType(int(ident[1:]))
+        if re.fullmatch(r"ui\d+", ident):
+            return IntegerType(int(ident[2:]), signed=False)
+        if re.fullmatch(r"f(16|32|64)", ident):
+            return FloatType(int(ident[1:]))
+        if ident == "memref":
+            shape, elem = self._parse_shaped_body()
+            return MemRefType(shape, elem)
+        if ident == "tensor":
+            shape, elem = self._parse_shaped_body()
+            return TensorType(shape, elem)
+        raise self._error(f"unknown type '{ident}'")
+
+    def _parse_shaped_body(self) -> Tuple[List[int], TypeAttribute]:
+        self.expect("<")
+        shape: List[int] = []
+        dim_re = re.compile(r"(\?|\d+)x")
+        while True:
+            self._skip_ws()
+            match = dim_re.match(self.text, self.pos)
+            if match is None:
+                break
+            self.pos = match.end()
+            token = match.group(1)
+            shape.append(DYNAMIC if token == "?" else int(token))
+        elem = self.parse_type()
+        self.expect(">")
+        return shape, elem
+
+    def _parse_function_type(self) -> FunctionType:
+        self.expect("(")
+        inputs: List[TypeAttribute] = []
+        if not self.peek(")"):
+            inputs.append(self.parse_type())
+            while self.try_consume(","):
+                inputs.append(self.parse_type())
+        self.expect(")")
+        self.expect("->")
+        results: List[TypeAttribute] = []
+        if self.try_consume("("):
+            if not self.peek(")"):
+                results.append(self.parse_type())
+                while self.try_consume(","):
+                    results.append(self.parse_type())
+            self.expect(")")
+        else:
+            results.append(self.parse_type())
+        return FunctionType(inputs, results)
+
+    def _parse_dialect_type(self) -> TypeAttribute:
+        dialect_name = self._consume_regex(re.compile(r"[A-Za-z_][A-Za-z0-9_]*"))
+        if dialect_name is None:
+            raise self._error("expected dialect name after '!'")
+        self.expect(".")
+        mnemonic = self._consume_regex(re.compile(r"[A-Za-z_][A-Za-z0-9_]*"))
+        if mnemonic is None:
+            raise self._error("expected dialect type mnemonic")
+        parser_fn = self.context.get_type_parser(dialect_name, mnemonic)
+        if parser_fn is None:
+            raise self._error(f"unknown dialect type '!{dialect_name}.{mnemonic}'")
+        return parser_fn(self)
+
+    def parse_type_list(self) -> List[TypeAttribute]:
+        self.expect("(")
+        types: List[TypeAttribute] = []
+        if not self.peek(")"):
+            types.append(self.parse_type())
+            while self.try_consume(","):
+                types.append(self.parse_type())
+        self.expect(")")
+        return types
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+
+    def parse_attribute(self) -> Attribute:
+        self._skip_ws()
+        if self.peek('"'):
+            return StringAttr(self.parse_string_literal())
+        if self.try_consume("unit"):
+            return UnitAttr()
+        if self.try_consume("true"):
+            return BoolAttr(True)
+        if self.try_consume("false"):
+            return BoolAttr(False)
+        if self.peek("@"):
+            return self._parse_symbol_ref()
+        if self.peek("array<"):
+            return self._parse_dense_array()
+        if self.peek("dense<"):
+            return self._parse_dense_elements()
+        if self.peek("["):
+            return self._parse_array_attr()
+        if self.peek("{"):
+            return DictionaryAttr(self.parse_attr_dict_body())
+        number = self._try_parse_number_attr()
+        if number is not None:
+            return number
+        # Fall back to a type attribute.
+        return TypeAttr(self.parse_type())
+
+    def _parse_symbol_ref(self) -> SymbolRefAttr:
+        self.expect("@")
+        root = self._consume_regex(_VALUE_ID_RE)
+        if root is None:
+            raise self._error("expected symbol name after '@'")
+        nested: List[str] = []
+        while self.try_consume("::@"):
+            part = self._consume_regex(_VALUE_ID_RE)
+            if part is None:
+                raise self._error("expected nested symbol name")
+            nested.append(part)
+        return SymbolRefAttr(root, nested)
+
+    def _parse_dense_array(self) -> DenseArrayAttr:
+        self.expect("array<")
+        self.expect("i64")
+        values: List[int] = []
+        if self.try_consume(":"):
+            values.append(self.parse_integer())
+            while self.try_consume(","):
+                values.append(self.parse_integer())
+        self.expect(">")
+        return DenseArrayAttr(values)
+
+    def _parse_dense_elements(self) -> DenseElementsAttr:
+        self.expect("dense<")
+        self.expect("[")
+        values: List[float] = []
+        if not self.peek("]"):
+            values.append(float(self._consume_regex(_NUMBER_RE)))
+            while self.try_consume(","):
+                values.append(float(self._consume_regex(_NUMBER_RE)))
+        self.expect("]")
+        self.expect(">")
+        self.expect(":")
+        elem_type = self.parse_type()
+        return DenseElementsAttr(values, elem_type)
+
+    def _parse_array_attr(self) -> ArrayAttr:
+        self.expect("[")
+        values: List[Attribute] = []
+        if not self.peek("]"):
+            values.append(self.parse_attribute())
+            while self.try_consume(","):
+                values.append(self.parse_attribute())
+        self.expect("]")
+        return ArrayAttr(values)
+
+    def _try_parse_number_attr(self) -> Optional[Attribute]:
+        self._skip_ws()
+        match = _NUMBER_RE.match(self.text, self.pos)
+        if match is None:
+            return None
+        token = match.group(0)
+        self.pos = match.end()
+        is_float = any(c in token for c in ".eE") or token.lstrip("-") in ("inf", "nan")
+        if self.try_consume(":"):
+            attr_type = self.parse_type()
+            if isinstance(attr_type, FloatType):
+                return FloatAttr(float(token), attr_type)
+            return IntegerAttr(int(float(token)), attr_type)
+        if is_float:
+            return FloatAttr.from_float(float(token))
+        return IntegerAttr.from_int(int(token))
+
+    def parse_attr_dict_body(self) -> Dict[str, Attribute]:
+        self.expect("{")
+        attrs: Dict[str, Attribute] = {}
+        if not self.peek("}"):
+            while True:
+                self._skip_ws()
+                if self.peek('"'):
+                    key = self.parse_string_literal()
+                else:
+                    key = self.parse_ident()
+                self.expect("=")
+                attrs[key] = self.parse_attribute()
+                if not self.try_consume(","):
+                    break
+        self.expect("}")
+        return attrs
+
+    # ------------------------------------------------------------------
+    # Operations, blocks, regions
+    # ------------------------------------------------------------------
+
+    def parse_module(self) -> Operation:
+        op = self.parse_operation()
+        self._skip_ws()
+        if not self.at_end():
+            raise self._error("unexpected trailing input after top-level operation")
+        return op
+
+    def parse_operation(self) -> Operation:
+        result_names: List[str] = []
+        self._skip_ws()
+        if self.peek("%"):
+            result_names.append(self._parse_value_id())
+            while self.try_consume(","):
+                result_names.append(self._parse_value_id())
+            self.expect("=")
+        op_name = self.parse_string_literal()
+
+        # Operand list
+        self.expect("(")
+        operand_names: List[str] = []
+        if not self.peek(")"):
+            operand_names.append(self._parse_value_id())
+            while self.try_consume(","):
+                operand_names.append(self._parse_value_id())
+        self.expect(")")
+
+        # Optional regions
+        regions: List[Region] = []
+        if self.peek("({") or self.peek("( {"):
+            self.expect("(")
+            regions.append(self.parse_region())
+            while self.try_consume(","):
+                regions.append(self.parse_region())
+            self.expect(")")
+
+        # Optional attribute dictionary
+        attributes: Dict[str, Attribute] = {}
+        if self.peek("{"):
+            attributes = self.parse_attr_dict_body()
+
+        # Functional type
+        self.expect(":")
+        operand_types = self.parse_type_list()
+        self.expect("->")
+        if self.peek("("):
+            result_types = self.parse_type_list()
+        else:
+            result_types = [self.parse_type()]
+
+        if len(operand_types) != len(operand_names):
+            raise self._error(
+                f"operation '{op_name}' lists {len(operand_names)} operands but "
+                f"{len(operand_types)} operand types"
+            )
+        if result_names and len(result_types) != len(result_names):
+            raise self._error(
+                f"operation '{op_name}' binds {len(result_names)} results but "
+                f"{len(result_types)} result types"
+            )
+
+        operands: List[SSAValue] = []
+        for name, expected_type in zip(operand_names, operand_types):
+            value = self.values.get(name)
+            if value is None:
+                raise self._error(f"use of undefined value %{name}")
+            if value.type != expected_type:
+                raise self._error(
+                    f"type mismatch for %{name}: defined as {value.type.print()}, "
+                    f"used as {expected_type.print()}"
+                )
+            operands.append(value)
+
+        op = self._build_operation(op_name, operands, result_types, attributes, regions)
+        for name, res in zip(result_names, op.results):
+            res.name_hint = name
+            self.values[name] = res
+        return op
+
+    def _parse_value_id(self) -> str:
+        self.expect("%")
+        name = self._consume_regex(_VALUE_ID_RE)
+        if name is None:
+            raise self._error("expected value name after '%'")
+        return name
+
+    def _build_operation(
+        self,
+        op_name: str,
+        operands: List[SSAValue],
+        result_types: List[TypeAttribute],
+        attributes: Dict[str, Attribute],
+        regions: List[Region],
+    ) -> Operation:
+        op_class = self.context.get_op_class(op_name)
+        if op_class is None:
+            if not self.context.allow_unregistered:
+                raise self._error(f"unregistered operation '{op_name}'")
+            op = Operation(operands, result_types, attributes, regions)
+            op.name = op_name
+            return op
+        op = object.__new__(op_class)
+        Operation.__init__(op, operands, result_types, attributes, regions)
+        return op
+
+    def parse_region(self) -> Region:
+        self.expect("{")
+        region = Region()
+        self._skip_ws()
+        if self.peek("^"):
+            while self.peek("^"):
+                region.add_block(self.parse_block())
+        elif not self.peek("}"):
+            block = Block()
+            region.add_block(block)
+            while not self.peek("}"):
+                block.add_op(self.parse_operation())
+        self.expect("}")
+        return region
+
+    def parse_block(self) -> Block:
+        self.expect("^")
+        self._consume_regex(_VALUE_ID_RE)  # block label (names are not referenced)
+        block = Block()
+        if self.try_consume("("):
+            if not self.peek(")"):
+                while True:
+                    name = self._parse_value_id()
+                    self.expect(":")
+                    arg_type = self.parse_type()
+                    arg = block.add_arg(arg_type)
+                    arg.name_hint = name
+                    self.values[name] = arg
+                    if not self.try_consume(","):
+                        break
+            self.expect(")")
+        self.expect(":")
+        while True:
+            self._skip_ws()
+            if self.peek("^") or self.peek("}") or self.at_end():
+                break
+            block.add_op(self.parse_operation())
+        return block
+
+
+def parse_module(text: str, context: Optional[Context] = None) -> Operation:
+    """Parse a module (or any single top-level operation) from text."""
+    return IRParser(text, context).parse_module()
+
+
+__all__ = ["IRParser", "ParseError", "parse_module"]

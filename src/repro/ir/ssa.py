@@ -1,0 +1,112 @@
+"""SSA values and use-def chains.
+
+Every value in the IR is either the result of an operation (:class:`OpResult`)
+or a block argument (:class:`BlockArgument`).  Values track their uses so that
+rewrites can replace values globally and the verifier can detect dangling uses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from .attributes import TypeAttribute
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .operation import Block, Operation
+
+
+class Use:
+    """A single use of an SSA value: operand ``index`` of ``operation``."""
+
+    __slots__ = ("operation", "index")
+
+    def __init__(self, operation: "Operation", index: int):
+        self.operation = operation
+        self.index = index
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Use)
+            and self.operation is other.operation
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.operation), self.index))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Use({self.operation.name}, operand {self.index})"
+
+
+class SSAValue:
+    """Base class for any value usable as an operand."""
+
+    def __init__(self, type: TypeAttribute):
+        if not isinstance(type, TypeAttribute):
+            raise TypeError(
+                f"SSA value type must be a TypeAttribute, got {type!r}"
+            )
+        self.type = type
+        self.uses: List[Use] = []
+        #: Optional human-readable name used by the printer (e.g. ``%result``).
+        self.name_hint: Optional[str] = None
+
+    # -- use management ------------------------------------------------
+
+    def add_use(self, use: Use) -> None:
+        self.uses.append(use)
+
+    def remove_use(self, use: Use) -> None:
+        for i, existing in enumerate(self.uses):
+            if existing == use:
+                del self.uses[i]
+                return
+        raise ValueError("attempting to remove a use that is not registered")
+
+    def replace_all_uses_with(self, new_value: "SSAValue") -> None:
+        """Rewrite every operand currently referencing ``self`` to ``new_value``."""
+        if new_value is self:
+            return
+        for use in list(self.uses):
+            use.operation.set_operand(use.index, new_value)
+
+    @property
+    def has_uses(self) -> bool:
+        return bool(self.uses)
+
+    def owner(self):
+        """The operation or block that defines this value."""
+        raise NotImplementedError
+
+    # -- debugging -------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover
+        hint = self.name_hint or "?"
+        return f"<{type(self).__name__} %{hint} : {self.type.print()}>"
+
+
+class OpResult(SSAValue):
+    """An SSA value produced by an operation."""
+
+    def __init__(self, type: TypeAttribute, op: "Operation", index: int):
+        super().__init__(type)
+        self.op = op
+        self.index = index
+
+    def owner(self) -> "Operation":
+        return self.op
+
+
+class BlockArgument(SSAValue):
+    """An SSA value introduced as a block argument (e.g. a loop induction var)."""
+
+    def __init__(self, type: TypeAttribute, block: "Block", index: int):
+        super().__init__(type)
+        self.block = block
+        self.index = index
+
+    def owner(self) -> "Block":
+        return self.block
+
+
+__all__ = ["Use", "SSAValue", "OpResult", "BlockArgument"]

@@ -1,0 +1,103 @@
+"""Operation traits.
+
+Traits declare structural invariants shared by many operations and are checked
+during verification.  They are deliberately lightweight: a trait is a class
+with an optional ``verify_trait(op)`` static method.
+"""
+
+from __future__ import annotations
+
+from .operation import Operation, VerifyException
+
+
+class IsTerminator:
+    """The operation must be the last operation of its block."""
+
+    @staticmethod
+    def verify_trait(op: Operation) -> None:
+        block = op.parent_block()
+        if block is not None and block.last_op is not op:
+            raise VerifyException(
+                f"terminator {op.name} must be the last operation in its block"
+            )
+
+
+class NoTerminator:
+    """Regions of this operation do not require a terminator (e.g. builtin.module)."""
+
+
+class Pure:
+    """The operation has no side effects and can be freely removed when unused."""
+
+
+class HasMemoryEffect:
+    """The operation reads or writes memory and must not be removed by DCE."""
+
+
+class SingleBlockRegion:
+    """Every region of the operation must contain exactly one block."""
+
+    @staticmethod
+    def verify_trait(op: Operation) -> None:
+        for i, region in enumerate(op.regions):
+            if len(region.blocks) != 1:
+                raise VerifyException(
+                    f"{op.name}: region {i} must contain exactly one block, "
+                    f"found {len(region.blocks)}"
+                )
+
+
+class IsolatedFromAbove:
+    """Operations inside regions may not reference values defined outside."""
+
+    @staticmethod
+    def verify_trait(op: Operation) -> None:
+        inner_values = set()
+        for region in op.regions:
+            for block in region.blocks:
+                inner_values.update(id(a) for a in block.args)
+                for inner in block.walk():
+                    inner_values.update(id(r) for r in inner.results)
+                    for b in _nested_block_args(inner):
+                        inner_values.add(id(b))
+        for region in op.regions:
+            for block in region.blocks:
+                for inner in block.walk():
+                    for operand in inner.operands:
+                        if id(operand) not in inner_values:
+                            raise VerifyException(
+                                f"{op.name}: operation {inner.name} references a value "
+                                "defined outside of an IsolatedFromAbove region"
+                            )
+
+
+def _nested_block_args(op: Operation):
+    for region in op.regions:
+        for block in region.blocks:
+            yield from block.args
+
+
+class SymbolOpInterface:
+    """The operation defines a symbol via a ``sym_name`` attribute."""
+
+    @staticmethod
+    def verify_trait(op: Operation) -> None:
+        if "sym_name" not in op.attributes:
+            raise VerifyException(f"{op.name}: symbol operation requires 'sym_name'")
+
+
+def has_trait(op: Operation, trait: type) -> bool:
+    """Return True if ``op`` (or its class) declares ``trait``."""
+    return trait in type(op).traits
+
+
+__all__ = [
+    "IsTerminator",
+    "NoTerminator",
+    "Pure",
+    "HasMemoryEffect",
+    "SingleBlockRegion",
+    "IsolatedFromAbove",
+    "SymbolOpInterface",
+    "has_trait",
+]

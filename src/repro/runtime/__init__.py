@@ -1,0 +1,23 @@
+"""Execution substrates: IR interpreter, simulated GPU/MPI and machine models."""
+
+from .gpu_runtime import GPUTransfer, KernelLaunch, SimulatedGPU
+from .interpreter import FieldValue, Frame, Interpreter, InterpreterError, TempValue
+from .memory import ElementRef, MemoryBuffer, numpy_dtype_for
+from .mpi_runtime import CartesianDecomposition, MPIError, SimulatedCommunicator
+
+__all__ = [
+    "Interpreter",
+    "InterpreterError",
+    "Frame",
+    "FieldValue",
+    "TempValue",
+    "MemoryBuffer",
+    "ElementRef",
+    "numpy_dtype_for",
+    "SimulatedGPU",
+    "GPUTransfer",
+    "KernelLaunch",
+    "SimulatedCommunicator",
+    "CartesianDecomposition",
+    "MPIError",
+]

@@ -1,0 +1,979 @@
+"""IR interpreter.
+
+Executes modules produced by the frontend and by every stage of the lowering
+pipeline against numpy-backed memory:
+
+* FIR (loops, loads/stores, coordinate_of) — the "Flang only" execution path,
+* the stencil dialect — ``stencil.apply`` is executed *vectorised* over the
+  whole output domain using numpy slicing, which is this reproduction's
+  analogue of the optimised code the stencil compilation flow generates,
+* scf / OpenMP / GPU / MPI dialects — functional execution plus event
+  accounting (kernel launches, PCIe transfers, messages) that feeds the
+  performance models.
+
+Numerical results of every path are compared against numpy references in the
+integration tests.
+"""
+
+from __future__ import annotations
+
+import math as _pymath
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..dialects import fir as fir_dialect
+from ..dialects import stencil as stencil_dialect
+from ..dialects.builtin import ModuleOp
+from ..dialects.func import FuncOp
+from ..ir.attributes import DenseArrayAttr, FloatAttr, IntegerAttr, StringAttr
+from ..ir.operation import Block, Operation
+from ..ir.ssa import SSAValue
+from ..ir.types import (
+    FloatType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    TypeAttribute,
+)
+from .gpu_runtime import SimulatedGPU
+from .memory import ElementRef, MemoryBuffer, numpy_dtype_for
+from .mpi_runtime import CartesianDecomposition, SimulatedCommunicator
+
+
+class InterpreterError(Exception):
+    """Raised when the interpreter meets IR it cannot execute."""
+
+
+class FieldValue:
+    """Runtime value of a ``!stencil.field``: external storage plus its lower bound."""
+
+    __slots__ = ("buffer", "lb")
+
+    def __init__(self, buffer: MemoryBuffer, lb: Tuple[int, ...]):
+        self.buffer = buffer
+        self.lb = tuple(lb)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<FieldValue {self.buffer.label} lb={self.lb}>"
+
+
+class TempValue:
+    """Runtime value of a ``!stencil.temp``: a dense snapshot with an origin."""
+
+    __slots__ = ("data", "origin")
+
+    def __init__(self, data: np.ndarray, origin: Tuple[int, ...]):
+        self.data = data
+        self.origin = tuple(origin)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<TempValue shape={self.data.shape} origin={self.origin}>"
+
+
+class Frame:
+    """SSA value environment for one function invocation (shared across regions)."""
+
+    def __init__(self):
+        self.values: Dict[SSAValue, object] = {}
+
+    def set(self, ssa_value: SSAValue, value: object) -> None:
+        self.values[ssa_value] = value
+
+    def get(self, ssa_value: SSAValue) -> object:
+        try:
+            return self.values[ssa_value]
+        except KeyError:
+            raise InterpreterError(
+                f"use of a value that has not been computed: {ssa_value!r}"
+            ) from None
+
+
+class _ReturnSignal(Exception):
+    """Internal control-flow signal carrying func.return operands."""
+
+    def __init__(self, values: List[object]):
+        self.values = values
+
+
+def _as_python(value):
+    """Collapse 0-d numpy values to python scalars (for indices/bounds)."""
+    if isinstance(value, np.ndarray) and value.ndim == 0:
+        return value[()]
+    return value
+
+
+class Interpreter:
+    """Executes functions from one or more linked modules."""
+
+    def __init__(
+        self,
+        modules: Union[ModuleOp, Sequence[ModuleOp]],
+        gpu: Optional[SimulatedGPU] = None,
+        comm: Optional[SimulatedCommunicator] = None,
+        rank: int = 0,
+        decomposition: Optional[CartesianDecomposition] = None,
+    ):
+        if isinstance(modules, ModuleOp):
+            modules = [modules]
+        self.modules: List[ModuleOp] = list(modules)
+        self.gpu = gpu
+        self.comm = comm
+        self.rank = rank
+        self.decomposition = decomposition
+        self.stats: Dict[str, float] = {
+            "stencil_apply_executions": 0,
+            "stencil_points_computed": 0,
+            "parallel_regions": 0,
+            "omp_regions": 0,
+            "fir_loop_iterations": 0,
+            "kernel_launches": 0,
+            "mpi_messages": 0,
+            "mpi_bytes": 0,
+        }
+        self._functions: Dict[str, FuncOp] = {}
+        self._gpu_kernels: Dict[str, Operation] = {}
+        self._apply_stack: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+        self._gpu_thread_ctx: List[Dict[str, Tuple[int, int, int]]] = []
+        self._pending_requests: List[dict] = []
+        self._index_functions()
+        self._handlers = self._build_handlers()
+
+    # ------------------------------------------------------------------
+    # Linking / entry points
+    # ------------------------------------------------------------------
+
+    def _index_functions(self) -> None:
+        for module in self.modules:
+            for op in module.walk():
+                if isinstance(op, FuncOp) and not op.is_declaration:
+                    self._functions[op.sym_name] = op
+                elif op.name == "gpu.func":
+                    name_attr = op.get_attr_or_none("sym_name")
+                    if isinstance(name_attr, StringAttr):
+                        self._gpu_kernels[name_attr.data] = op
+
+    def lookup(self, name: str) -> FuncOp:
+        if name not in self._functions:
+            raise InterpreterError(
+                f"undefined function '{name}'; available: {sorted(self._functions)}"
+            )
+        return self._functions[name]
+
+    def call(self, name: str, *args) -> List[object]:
+        """Call a function by name with numpy arrays / python scalars.
+
+        Arrays are passed by reference (mutations are visible to the caller);
+        scalars are wrapped in scalar cells, matching Fortran's by-reference
+        argument convention.
+        """
+        func_op = self.lookup(name)
+        arg_values: List[object] = []
+        for i, (arg, arg_type) in enumerate(zip(args, func_op.function_type.inputs)):
+            arg_values.append(self._wrap_argument(arg, arg_type, f"arg{i}"))
+        return self.call_function(func_op, arg_values)
+
+    def _wrap_argument(self, arg, arg_type: TypeAttribute, label: str):
+        if isinstance(arg, (MemoryBuffer, ElementRef, FieldValue, TempValue)):
+            return arg
+        if isinstance(arg, np.ndarray):
+            if not arg.flags["F_CONTIGUOUS"]:
+                arg = np.asfortranarray(arg)
+            return MemoryBuffer.wrap(arg, label=label)
+        if isinstance(arg, (int, float, np.integer, np.floating)):
+            element = arg_type
+            if fir_dialect.is_reference_like(arg_type):
+                element = arg_type.element_type  # type: ignore[union-attr]
+            return MemoryBuffer.for_scalar(element, arg, label=label)
+        raise InterpreterError(f"cannot pass argument of type {type(arg).__name__}")
+
+    def call_function(self, func_op: FuncOp, args: Sequence[object]) -> List[object]:
+        entry = func_op.entry_block
+        if len(args) != len(entry.args):
+            raise InterpreterError(
+                f"function '{func_op.sym_name}' expects {len(entry.args)} arguments, "
+                f"got {len(args)}"
+            )
+        frame = Frame()
+        for block_arg, value in zip(entry.args, args):
+            frame.set(block_arg, value)
+        # GPU-launch-tagged functions account a kernel launch per invocation.
+        if func_op.get_attr_or_none("gpu.launch") is not None and self.gpu is not None:
+            grid = self._dense_attr_or(func_op, "gpu.grid", (1, 1, 1))
+            block = self._dense_attr_or(func_op, "gpu.block", (1, 1, 1))
+            buffers = [a.buffer if isinstance(a, FieldValue) else a for a in args]
+            buffers = [b for b in buffers if isinstance(b, MemoryBuffer) and not b.is_scalar]
+            self.gpu.record_launch(func_op.sym_name, grid, block, buffers)
+            self.stats["kernel_launches"] += 1
+        try:
+            self.run_block(entry, frame)
+        except _ReturnSignal as signal:
+            return signal.values
+        return []
+
+    @staticmethod
+    def _dense_attr_or(op: Operation, name: str, default):
+        attr = op.get_attr_or_none(name)
+        if isinstance(attr, DenseArrayAttr):
+            return attr.as_tuple()
+        return default
+
+    # ------------------------------------------------------------------
+    # Execution core
+    # ------------------------------------------------------------------
+
+    def run_block(self, block: Block, frame: Frame) -> List[object]:
+        """Execute a block; returns the operand values of its terminator (if the
+        terminator is a yield-like operation)."""
+        result: List[object] = []
+        for op in block.ops:
+            result = self.exec_op(op, frame)
+        return result
+
+    def exec_op(self, op: Operation, frame: Frame) -> List[object]:
+        handler = self._handlers.get(op.name)
+        if handler is None:
+            raise InterpreterError(f"no interpreter handler for operation '{op.name}'")
+        values = handler(op, frame)
+        if values is None:
+            values = []
+        for res, value in zip(op.results, values):
+            frame.set(res, value)
+        return values
+
+    # ------------------------------------------------------------------
+    # Handler table
+    # ------------------------------------------------------------------
+
+    def _build_handlers(self) -> Dict[str, Callable]:
+        h: Dict[str, Callable] = {}
+
+        # builtin / func -----------------------------------------------------
+        h["builtin.module"] = lambda op, f: []
+        h["builtin.unrealized_conversion_cast"] = lambda op, f: [
+            f.get(o) for o in op.operands
+        ]
+        h["func.return"] = self._exec_func_return
+        h["func.call"] = self._exec_call
+        h["fir.call"] = self._exec_call
+        h["llvm.call"] = self._exec_call
+
+        # arith ---------------------------------------------------------------
+        h["arith.constant"] = self._exec_constant
+        binary = {
+            "arith.addf": np.add,
+            "arith.subf": np.subtract,
+            "arith.mulf": np.multiply,
+            "arith.divf": np.divide,
+            "arith.maximumf": np.maximum,
+            "arith.minimumf": np.minimum,
+            "arith.addi": np.add,
+            "arith.subi": np.subtract,
+            "arith.muli": np.multiply,
+            "arith.maxsi": np.maximum,
+            "arith.minsi": np.minimum,
+            "arith.andi": np.logical_and,
+            "arith.ori": np.logical_or,
+            "arith.xori": np.not_equal,
+        }
+        for name, ufunc in binary.items():
+            h[name] = self._make_binary(ufunc)
+        h["arith.divsi"] = self._exec_divsi
+        h["arith.remsi"] = self._exec_remsi
+        h["arith.negf"] = lambda op, f: [np.negative(f.get(op.operands[0]))]
+        h["arith.cmpf"] = self._exec_cmpf
+        h["arith.cmpi"] = self._exec_cmpi
+        h["arith.select"] = lambda op, f: [
+            np.where(f.get(op.operands[0]), f.get(op.operands[1]), f.get(op.operands[2]))
+        ]
+        for cast in ("arith.index_cast", "arith.sitofp", "arith.fptosi",
+                     "arith.extf", "arith.truncf"):
+            h[cast] = self._exec_numeric_convert
+
+        # math -----------------------------------------------------------------
+        unary_math = {
+            "math.sqrt": np.sqrt,
+            "math.absf": np.abs,
+            "math.sin": np.sin,
+            "math.cos": np.cos,
+            "math.tan": np.tan,
+            "math.tanh": np.tanh,
+            "math.exp": np.exp,
+            "math.log": np.log,
+            "math.log10": np.log10,
+        }
+        for name, ufunc in unary_math.items():
+            h[name] = self._make_unary(ufunc)
+        h["math.powf"] = self._make_binary(np.power)
+        h["math.fma"] = lambda op, f: [
+            f.get(op.operands[0]) * f.get(op.operands[1]) + f.get(op.operands[2])
+        ]
+
+        # fir --------------------------------------------------------------------
+        h["fir.alloca"] = self._exec_fir_alloca
+        h["fir.allocmem"] = self._exec_fir_alloca
+        h["fir.freemem"] = lambda op, f: []
+        h["fir.declare"] = lambda op, f: [f.get(op.operands[0])]
+        h["fir.load"] = self._exec_fir_load
+        h["fir.store"] = self._exec_fir_store
+        h["fir.coordinate_of"] = self._exec_coordinate_of
+        h["fir.do_loop"] = self._exec_fir_do_loop
+        h["fir.if"] = self._exec_fir_if
+        h["fir.result"] = lambda op, f: [f.get(o) for o in op.operands]
+        h["fir.convert"] = self._exec_fir_convert
+        h["fir.no_reassoc"] = lambda op, f: [f.get(op.operands[0])]
+        h["fir.unreachable"] = lambda op, f: []
+
+        # memref ---------------------------------------------------------------------
+        h["memref.alloc"] = self._exec_memref_alloc
+        h["memref.alloca"] = self._exec_memref_alloc
+        h["memref.dealloc"] = lambda op, f: []
+        h["memref.load"] = self._exec_memref_load
+        h["memref.store"] = self._exec_memref_store
+        h["memref.dim"] = self._exec_memref_dim
+        h["memref.copy"] = self._exec_memref_copy
+        h["memref.cast"] = lambda op, f: [f.get(op.operands[0])]
+
+        # scf ---------------------------------------------------------------------------
+        h["scf.for"] = self._exec_scf_for
+        h["scf.parallel"] = self._exec_scf_parallel
+        h["scf.if"] = self._exec_scf_if
+        h["scf.yield"] = lambda op, f: [f.get(o) for o in op.operands]
+
+        # omp ------------------------------------------------------------------------------
+        h["omp.parallel"] = self._exec_omp_parallel
+        h["omp.wsloop"] = self._exec_omp_wsloop
+        h["omp.yield"] = lambda op, f: [f.get(o) for o in op.operands]
+        h["omp.terminator"] = lambda op, f: []
+        h["omp.barrier"] = lambda op, f: []
+
+        # stencil -----------------------------------------------------------------------------
+        h["stencil.external_load"] = self._exec_stencil_external_load
+        h["stencil.external_store"] = lambda op, f: []
+        h["stencil.cast"] = self._exec_stencil_cast
+        h["stencil.load"] = self._exec_stencil_load
+        h["stencil.apply"] = self._exec_stencil_apply
+        h["stencil.access"] = self._exec_stencil_access
+        h["stencil.index"] = self._exec_stencil_index
+        h["stencil.store"] = self._exec_stencil_store
+        h["stencil.return"] = lambda op, f: [f.get(o) for o in op.operands]
+        h["stencil.buffer"] = lambda op, f: [f.get(op.operands[0])]
+
+        # gpu ----------------------------------------------------------------------------------
+        h["gpu.module"] = lambda op, f: []
+        h["gpu.alloc"] = self._exec_gpu_alloc
+        h["gpu.dealloc"] = self._exec_gpu_dealloc
+        h["gpu.memcpy"] = self._exec_gpu_memcpy
+        h["gpu.host_register"] = self._exec_gpu_host_register
+        h["gpu.host_unregister"] = self._exec_gpu_host_unregister
+        h["gpu.launch_func"] = self._exec_gpu_launch_func
+        h["gpu.thread_id"] = self._exec_gpu_id("thread_id")
+        h["gpu.block_id"] = self._exec_gpu_id("block_id")
+        h["gpu.block_dim"] = self._exec_gpu_id("block_dim")
+        h["gpu.grid_dim"] = self._exec_gpu_id("grid_dim")
+        h["gpu.barrier"] = lambda op, f: []
+        h["gpu.return"] = lambda op, f: []
+
+        # dmp / mpi -------------------------------------------------------------------------------
+        h["dmp.grid"] = self._exec_dmp_grid
+        h["dmp.rank"] = self._exec_dmp_rank
+        h["dmp.local_domain"] = self._exec_dmp_local_domain
+        h["dmp.halo_swap"] = self._exec_dmp_halo_swap
+        h["dmp.neighbour_rank"] = self._exec_dmp_neighbour_rank
+        h["dmp.gather"] = lambda op, f: []
+        h["mpi.init"] = lambda op, f: []
+        h["mpi.finalize"] = lambda op, f: []
+        h["mpi.comm.rank"] = lambda op, f: [np.int32(self.rank)]
+        h["mpi.comm.size"] = lambda op, f: [
+            np.int32(self.comm.size if self.comm else 1)
+        ]
+        h["mpi.isend"] = self._exec_mpi_isend
+        h["mpi.irecv"] = self._exec_mpi_irecv
+        h["mpi.send"] = self._exec_mpi_send
+        h["mpi.recv"] = self._exec_mpi_recv
+        h["mpi.wait"] = self._exec_mpi_wait
+        h["mpi.waitall"] = self._exec_mpi_waitall
+        h["mpi.barrier"] = lambda op, f: (self.comm.barrier(self.rank) if self.comm else None) or []
+        h["mpi.allreduce"] = lambda op, f: [f.get(op.operands[0])]
+
+        return h
+
+    # ------------------------------------------------------------------
+    # func / call handlers
+    # ------------------------------------------------------------------
+
+    def _exec_func_return(self, op: Operation, frame: Frame):
+        raise _ReturnSignal([frame.get(o) for o in op.operands])
+
+    def _exec_call(self, op: Operation, frame: Frame):
+        callee_attr = op.get_attr("callee")
+        callee = callee_attr.root  # type: ignore[union-attr]
+        args = [frame.get(o) for o in op.operands]
+        func_op = self.lookup(callee)
+        return self.call_function(func_op, args)
+
+    # ------------------------------------------------------------------
+    # arith handlers
+    # ------------------------------------------------------------------
+
+    def _exec_constant(self, op: Operation, frame: Frame):
+        attr = op.get_attr("value")
+        if isinstance(attr, FloatAttr):
+            dtype = numpy_dtype_for(attr.type)
+            return [dtype.type(attr.value)]
+        if isinstance(attr, IntegerAttr):
+            dtype = numpy_dtype_for(attr.type)
+            return [dtype.type(attr.value)]
+        raise InterpreterError("arith.constant with unsupported attribute")
+
+    @staticmethod
+    def _make_binary(ufunc):
+        def handler(op: Operation, frame: Frame):
+            return [ufunc(frame.get(op.operands[0]), frame.get(op.operands[1]))]
+
+        return handler
+
+    @staticmethod
+    def _make_unary(ufunc):
+        def handler(op: Operation, frame: Frame):
+            return [ufunc(frame.get(op.operands[0]))]
+
+        return handler
+
+    def _exec_divsi(self, op: Operation, frame: Frame):
+        lhs = frame.get(op.operands[0])
+        rhs = frame.get(op.operands[1])
+        # Fortran/C semantics: integer division truncates toward zero.
+        return [np.asarray(np.trunc(np.divide(lhs, rhs))).astype(np.int64)[()]
+                if np.ndim(lhs) == 0 and np.ndim(rhs) == 0
+                else np.trunc(np.divide(lhs, rhs)).astype(np.int64)]
+
+    def _exec_remsi(self, op: Operation, frame: Frame):
+        lhs = frame.get(op.operands[0])
+        rhs = frame.get(op.operands[1])
+        quotient = np.trunc(np.divide(lhs, rhs)).astype(np.int64)
+        return [np.asarray(lhs) - quotient * np.asarray(rhs)]
+
+    _FLOAT_CMP = {
+        "oeq": np.equal, "one": np.not_equal, "olt": np.less,
+        "ole": np.less_equal, "ogt": np.greater, "oge": np.greater_equal,
+    }
+    _INT_CMP = {
+        "eq": np.equal, "ne": np.not_equal, "slt": np.less,
+        "sle": np.less_equal, "sgt": np.greater, "sge": np.greater_equal,
+    }
+
+    def _exec_cmpf(self, op: Operation, frame: Frame):
+        pred = op.get_attr("predicate").data  # type: ignore[union-attr]
+        return [self._FLOAT_CMP[pred](frame.get(op.operands[0]), frame.get(op.operands[1]))]
+
+    def _exec_cmpi(self, op: Operation, frame: Frame):
+        pred = op.get_attr("predicate").data  # type: ignore[union-attr]
+        return [self._INT_CMP[pred](frame.get(op.operands[0]), frame.get(op.operands[1]))]
+
+    def _exec_numeric_convert(self, op: Operation, frame: Frame):
+        value = frame.get(op.operands[0])
+        return [self._convert_value(value, op.results[0].type)]
+
+    @staticmethod
+    def _convert_value(value, target_type: TypeAttribute):
+        if isinstance(value, (MemoryBuffer, ElementRef, FieldValue, TempValue)):
+            return value  # reference conversions are no-ops at runtime
+        dtype = numpy_dtype_for(target_type)
+        if isinstance(value, np.ndarray) and value.ndim > 0:
+            return value.astype(dtype)
+        return dtype.type(value)
+
+    # ------------------------------------------------------------------
+    # FIR handlers
+    # ------------------------------------------------------------------
+
+    def _exec_fir_alloca(self, op: Operation, frame: Frame):
+        in_type = op.get_attr("in_type").type  # type: ignore[union-attr]
+        label_attr = op.get_attr_or_none("uniq_name")
+        label = label_attr.data if isinstance(label_attr, StringAttr) else ""
+        if isinstance(in_type, fir_dialect.SequenceType):
+            shape = list(in_type.shape)
+            dynamic = [frame.get(o) for o in op.operands]
+            it = iter(dynamic)
+            shape = [int(_as_python(next(it))) if s < 0 else s for s in shape]
+            return [MemoryBuffer.for_array(shape, in_type.element_type, label=label)]
+        return [MemoryBuffer.for_scalar(in_type, 0, label=label)]
+
+    def _exec_fir_load(self, op: Operation, frame: Frame):
+        ref = frame.get(op.operands[0])
+        if isinstance(ref, (MemoryBuffer, ElementRef)):
+            return [ref.load()]
+        raise InterpreterError("fir.load applied to a non-reference value")
+
+    def _exec_fir_store(self, op: Operation, frame: Frame):
+        value = frame.get(op.operands[0])
+        ref = frame.get(op.operands[1])
+        if isinstance(ref, (MemoryBuffer, ElementRef)):
+            ref.store(_as_python(value))
+            return []
+        raise InterpreterError("fir.store applied to a non-reference value")
+
+    def _exec_coordinate_of(self, op: Operation, frame: Frame):
+        buffer = frame.get(op.operands[0])
+        if not isinstance(buffer, MemoryBuffer):
+            raise InterpreterError("fir.coordinate_of requires an array buffer")
+        indices = tuple(int(_as_python(frame.get(o))) for o in op.operands[1:])
+        return [ElementRef(buffer, indices)]
+
+    def _exec_fir_do_loop(self, op: Operation, frame: Frame):
+        lower = int(_as_python(frame.get(op.operands[0])))
+        upper = int(_as_python(frame.get(op.operands[1])))
+        step = int(_as_python(frame.get(op.operands[2])))
+        block = op.regions[0].block
+        induction = block.args[0]
+        # Fortran DO semantics: upper bound inclusive.
+        for value in range(lower, upper + 1, step):
+            self.stats["fir_loop_iterations"] += 1
+            frame.set(induction, np.int64(value))
+            self.run_block(block, frame)
+        return []
+
+    def _exec_fir_if(self, op: Operation, frame: Frame):
+        condition = bool(_as_python(frame.get(op.operands[0])))
+        region = op.regions[0] if condition else op.regions[1]
+        if region.blocks:
+            self.run_block(region.block, frame)
+        return []
+
+    def _exec_fir_convert(self, op: Operation, frame: Frame):
+        value = frame.get(op.operands[0])
+        result_type = op.results[0].type
+        if isinstance(result_type, (FloatType, IntegerType, IndexType)):
+            return [self._convert_value(value, result_type)]
+        return [value]
+
+    # ------------------------------------------------------------------
+    # memref handlers
+    # ------------------------------------------------------------------
+
+    def _exec_memref_alloc(self, op: Operation, frame: Frame):
+        mtype: MemRefType = op.results[0].type  # type: ignore[assignment]
+        shape = list(mtype.shape)
+        dynamic = [int(_as_python(frame.get(o))) for o in op.operands]
+        it = iter(dynamic)
+        shape = [next(it) if s < 0 else s for s in shape]
+        return [MemoryBuffer.for_array(shape, mtype.element_type)]
+
+    def _exec_memref_load(self, op: Operation, frame: Frame):
+        buffer = frame.get(op.operands[0])
+        indices = tuple(int(_as_python(frame.get(o))) for o in op.operands[1:])
+        return [buffer.data[indices]]
+
+    def _exec_memref_store(self, op: Operation, frame: Frame):
+        value = frame.get(op.operands[0])
+        buffer = frame.get(op.operands[1])
+        indices = tuple(int(_as_python(frame.get(o))) for o in op.operands[2:])
+        buffer.data[indices] = _as_python(value)
+        return []
+
+    def _exec_memref_dim(self, op: Operation, frame: Frame):
+        buffer = frame.get(op.operands[0])
+        dim = int(_as_python(frame.get(op.operands[1])))
+        return [np.int64(buffer.data.shape[dim])]
+
+    def _exec_memref_copy(self, op: Operation, frame: Frame):
+        source = frame.get(op.operands[0])
+        target = frame.get(op.operands[1])
+        target.copy_from(source)
+        return []
+
+    # ------------------------------------------------------------------
+    # scf handlers
+    # ------------------------------------------------------------------
+
+    def _exec_scf_for(self, op: Operation, frame: Frame):
+        lower = int(_as_python(frame.get(op.operands[0])))
+        upper = int(_as_python(frame.get(op.operands[1])))
+        step = int(_as_python(frame.get(op.operands[2])))
+        iter_values = [frame.get(o) for o in op.operands[3:]]
+        block = op.regions[0].block
+        for value in range(lower, upper, step):
+            frame.set(block.args[0], np.int64(value))
+            for arg, iter_value in zip(block.args[1:], iter_values):
+                frame.set(arg, iter_value)
+            iter_values = self.run_block(block, frame)
+        return iter_values
+
+    def _exec_scf_parallel(self, op: Operation, frame: Frame):
+        rank = int(op.get_attr("rank").value)  # type: ignore[union-attr]
+        lowers = [int(_as_python(frame.get(o))) for o in op.operands[:rank]]
+        uppers = [int(_as_python(frame.get(o))) for o in op.operands[rank:2 * rank]]
+        steps = [int(_as_python(frame.get(o))) for o in op.operands[2 * rank:3 * rank]]
+        block = op.regions[0].block
+        self.stats["parallel_regions"] += 1
+        self._iterate_nest(block, frame, lowers, uppers, steps, 0, [0] * rank)
+        return []
+
+    def _iterate_nest(self, block: Block, frame: Frame, lowers, uppers, steps,
+                      dim: int, current: List[int]) -> None:
+        if dim == len(lowers):
+            for arg, value in zip(block.args, current):
+                frame.set(arg, np.int64(value))
+            self.run_block(block, frame)
+            return
+        for value in range(lowers[dim], uppers[dim], steps[dim]):
+            current[dim] = value
+            self._iterate_nest(block, frame, lowers, uppers, steps, dim + 1, current)
+
+    def _exec_scf_if(self, op: Operation, frame: Frame):
+        condition = bool(_as_python(frame.get(op.operands[0])))
+        region = op.regions[0] if condition else op.regions[1]
+        if not region.blocks:
+            return [None] * len(op.results)
+        return self.run_block(region.block, frame)
+
+    # ------------------------------------------------------------------
+    # omp handlers (functionally serial; parallelism feeds the cost model)
+    # ------------------------------------------------------------------
+
+    def _exec_omp_parallel(self, op: Operation, frame: Frame):
+        self.stats["omp_regions"] += 1
+        self.run_block(op.regions[0].block, frame)
+        return []
+
+    def _exec_omp_wsloop(self, op: Operation, frame: Frame):
+        rank = int(op.get_attr("rank").value)  # type: ignore[union-attr]
+        lowers = [int(_as_python(frame.get(o))) for o in op.operands[:rank]]
+        uppers = [int(_as_python(frame.get(o))) for o in op.operands[rank:2 * rank]]
+        steps = [int(_as_python(frame.get(o))) for o in op.operands[2 * rank:3 * rank]]
+        block = op.regions[0].block
+        self._iterate_nest(block, frame, lowers, uppers, steps, 0, [0] * rank)
+        return []
+
+    # ------------------------------------------------------------------
+    # stencil handlers (vectorised execution)
+    # ------------------------------------------------------------------
+
+    def _exec_stencil_external_load(self, op: Operation, frame: Frame):
+        buffer = frame.get(op.operands[0])
+        if isinstance(buffer, ElementRef):
+            buffer = buffer.buffer
+        if not isinstance(buffer, MemoryBuffer):
+            raise InterpreterError("stencil.external_load requires a memory buffer")
+        ftype: stencil_dialect.FieldType = op.results[0].type  # type: ignore[assignment]
+        lb = tuple(b[0] for b in ftype.bounds)
+        return [FieldValue(buffer, lb)]
+
+    def _exec_stencil_cast(self, op: Operation, frame: Frame):
+        field = frame.get(op.operands[0])
+        ftype: stencil_dialect.FieldType = op.results[0].type  # type: ignore[assignment]
+        return [FieldValue(field.buffer, tuple(b[0] for b in ftype.bounds))]
+
+    def _exec_stencil_load(self, op: Operation, frame: Frame):
+        field = frame.get(op.operands[0])
+        if not isinstance(field, FieldValue):
+            raise InterpreterError("stencil.load requires a field value")
+        return [TempValue(np.array(field.buffer.data, copy=True), field.lb)]
+
+    def _exec_stencil_apply(self, op: Operation, frame: Frame):
+        lb = op.get_attr("lb").as_tuple()  # type: ignore[union-attr]
+        ub = op.get_attr("ub").as_tuple()  # type: ignore[union-attr]
+        domain = tuple(u - l for l, u in zip(lb, ub))
+        block = op.regions[0].block
+        for arg, operand in zip(block.args, op.operands):
+            frame.set(arg, frame.get(operand))
+        self._apply_stack.append((lb, ub))
+        try:
+            returned = self.run_block(block, frame)
+        finally:
+            self._apply_stack.pop()
+        self.stats["stencil_apply_executions"] += 1
+        points = 1
+        for extent in domain:
+            points *= extent
+        self.stats["stencil_points_computed"] += points
+        results = []
+        for value in returned:
+            array = np.broadcast_to(np.asarray(value, dtype=np.float64), domain).copy() \
+                if np.ndim(value) == 0 else np.asarray(value)
+            results.append(TempValue(array, lb))
+        return results
+
+    def _exec_stencil_access(self, op: Operation, frame: Frame):
+        temp = frame.get(op.operands[0])
+        if not isinstance(temp, TempValue):
+            raise InterpreterError("stencil.access requires a temp value")
+        if not self._apply_stack:
+            raise InterpreterError("stencil.access outside of a stencil.apply body")
+        lb, ub = self._apply_stack[-1]
+        offset = op.get_attr("offset").as_tuple()  # type: ignore[union-attr]
+        slices = tuple(
+            slice(l + o - org, u + o - org)
+            for l, u, o, org in zip(lb, ub, offset, temp.origin)
+        )
+        return [temp.data[slices]]
+
+    def _exec_stencil_index(self, op: Operation, frame: Frame):
+        if not self._apply_stack:
+            raise InterpreterError("stencil.index outside of a stencil.apply body")
+        lb, ub = self._apply_stack[-1]
+        dim = int(op.get_attr("dim").value)  # type: ignore[union-attr]
+        domain = tuple(u - l for l, u in zip(lb, ub))
+        axis_values = np.arange(lb[dim], ub[dim], dtype=np.int64)
+        shape = [1] * len(domain)
+        shape[dim] = domain[dim]
+        return [np.broadcast_to(axis_values.reshape(shape), domain)]
+
+    def _exec_stencil_store(self, op: Operation, frame: Frame):
+        temp = frame.get(op.operands[0])
+        field = frame.get(op.operands[1])
+        lb = op.get_attr("lb").as_tuple()  # type: ignore[union-attr]
+        ub = op.get_attr("ub").as_tuple()  # type: ignore[union-attr]
+        field_slices = tuple(
+            slice(l - fl, u - fl) for l, u, fl in zip(lb, ub, field.lb)
+        )
+        temp_slices = tuple(
+            slice(l - to, u - to) for l, u, to in zip(lb, ub, temp.origin)
+        )
+        field.buffer.data[field_slices] = temp.data[temp_slices]
+        return []
+
+    # ------------------------------------------------------------------
+    # gpu handlers
+    # ------------------------------------------------------------------
+
+    def _require_gpu(self) -> SimulatedGPU:
+        if self.gpu is None:
+            self.gpu = SimulatedGPU()
+        return self.gpu
+
+    def _exec_gpu_alloc(self, op: Operation, frame: Frame):
+        gpu = self._require_gpu()
+        mtype: MemRefType = op.results[0].type  # type: ignore[assignment]
+        shape = list(mtype.shape)
+        dynamic = [int(_as_python(frame.get(o))) for o in op.operands]
+        it = iter(dynamic)
+        shape = [next(it) if s < 0 else s for s in shape]
+        return [gpu.alloc(shape, mtype.element_type)]
+
+    def _exec_gpu_dealloc(self, op: Operation, frame: Frame):
+        self._require_gpu().dealloc(frame.get(op.operands[0]))
+        return []
+
+    def _exec_gpu_memcpy(self, op: Operation, frame: Frame):
+        dst = frame.get(op.operands[0])
+        src = frame.get(op.operands[1])
+        if isinstance(dst, FieldValue):
+            dst = dst.buffer
+        if isinstance(src, FieldValue):
+            src = src.buffer
+        self._require_gpu().memcpy(dst, src)
+        return []
+
+    def _exec_gpu_host_register(self, op: Operation, frame: Frame):
+        self._require_gpu().host_register(frame.get(op.operands[0]))
+        return []
+
+    def _exec_gpu_host_unregister(self, op: Operation, frame: Frame):
+        self._require_gpu().host_unregister(frame.get(op.operands[0]))
+        return []
+
+    def _exec_gpu_launch_func(self, op: Operation, frame: Frame):
+        gpu = self._require_gpu()
+        kernel_name = op.get_attr("kernel").root  # type: ignore[union-attr]
+        grid = op.get_attr("grid_size").as_tuple()  # type: ignore[union-attr]
+        block = op.get_attr("block_size").as_tuple()  # type: ignore[union-attr]
+        args = [frame.get(o) for o in op.operands]
+        buffers = [a for a in args if isinstance(a, MemoryBuffer) and not a.is_scalar]
+        gpu.record_launch(kernel_name, grid, block, buffers)
+        self.stats["kernel_launches"] += 1
+        kernel = self._gpu_kernels.get(kernel_name)
+        if kernel is None:
+            raise InterpreterError(f"gpu.launch_func: unknown kernel '{kernel_name}'")
+        body = kernel.regions[0].block
+        for bz in range(grid[2]):
+            for by in range(grid[1]):
+                for bx in range(grid[0]):
+                    for tz in range(block[2]):
+                        for ty in range(block[1]):
+                            for tx in range(block[0]):
+                                ctx = {
+                                    "thread_id": (tx, ty, tz),
+                                    "block_id": (bx, by, bz),
+                                    "block_dim": tuple(block),
+                                    "grid_dim": tuple(grid),
+                                }
+                                self._gpu_thread_ctx.append(ctx)
+                                kernel_frame = Frame()
+                                for barg, value in zip(body.args, args):
+                                    kernel_frame.set(barg, value)
+                                try:
+                                    self.run_block(body, kernel_frame)
+                                finally:
+                                    self._gpu_thread_ctx.pop()
+        return []
+
+    def _exec_gpu_id(self, what: str):
+        dims = {"x": 0, "y": 1, "z": 2}
+
+        def handler(op: Operation, frame: Frame):
+            if not self._gpu_thread_ctx:
+                raise InterpreterError(f"gpu.{what} used outside of a kernel launch")
+            ctx = self._gpu_thread_ctx[-1]
+            dim = op.get_attr("dimension").data  # type: ignore[union-attr]
+            return [np.int64(ctx[what][dims[dim]])]
+
+        return handler
+
+    # ------------------------------------------------------------------
+    # dmp / mpi handlers
+    # ------------------------------------------------------------------
+
+    def _require_decomposition(self) -> CartesianDecomposition:
+        if self.decomposition is None:
+            raise InterpreterError(
+                "distributed execution requires a CartesianDecomposition"
+            )
+        return self.decomposition
+
+    def _exec_dmp_grid(self, op: Operation, frame: Frame):
+        return [self._require_decomposition()]
+
+    def _exec_dmp_rank(self, op: Operation, frame: Frame):
+        decomposition = self._require_decomposition()
+        dim = int(op.get_attr("dim").value)  # type: ignore[union-attr]
+        coords = decomposition.coords_of(self.rank)
+        return [np.int64(coords[dim])]
+
+    def _exec_dmp_local_domain(self, op: Operation, frame: Frame):
+        decomposition = self._require_decomposition()
+        bounds = decomposition.local_bounds(self.rank)
+        flat: List[object] = []
+        for lb, ub in bounds:
+            flat.append(np.int64(lb))
+            flat.append(np.int64(ub))
+        return flat
+
+    def _exec_dmp_neighbour_rank(self, op: Operation, frame: Frame):
+        decomposition = self._require_decomposition()
+        dim = int(op.get_attr("dim").value)  # grid dimension (position)
+        direction = int(op.get_attr("direction").value)
+        coords = list(decomposition.coords_of(self.rank))
+        coords[dim] += direction
+        return [np.int32(decomposition.rank_of(coords))]
+
+    def _exec_dmp_halo_swap(self, op: Operation, frame: Frame):
+        """Exchange halo slabs of the field with grid neighbours."""
+        if self.comm is None:
+            return []
+        decomposition = self._require_decomposition()
+        field = frame.get(op.operands[0])
+        buffer = field.buffer if isinstance(field, FieldValue) else field
+        halo = op.get_attr("halo").as_tuple()  # type: ignore[union-attr]
+        neighbours = decomposition.neighbours(self.rank)
+        ndim = buffer.data.ndim
+
+        def slab(dim: int, where: str) -> Tuple[slice, ...]:
+            slices = [slice(None)] * ndim
+            width = halo[dim]
+            if where == "low_interior":
+                slices[dim] = slice(width, 2 * width)
+            elif where == "high_interior":
+                slices[dim] = slice(-2 * width, -width)
+            elif where == "low_ghost":
+                slices[dim] = slice(0, width)
+            elif where == "high_ghost":
+                slices[dim] = slice(-width, None)
+            return tuple(slices)
+
+        # Post all sends first, then receive (buffered sends cannot deadlock).
+        for (dim, direction), neighbour in neighbours.items():
+            if neighbour < 0 or halo[dim] == 0:
+                continue
+            where = "low_interior" if direction < 0 else "high_interior"
+            payload = buffer.data[slab(dim, where)]
+            tag = dim * 2 + (0 if direction < 0 else 1)
+            self.comm.send(self.rank, neighbour, tag, payload)
+            self.stats["mpi_messages"] += 1
+            self.stats["mpi_bytes"] += payload.nbytes
+        for (dim, direction), neighbour in neighbours.items():
+            if neighbour < 0 or halo[dim] == 0:
+                continue
+            # A message sent from the neighbour's opposite face.
+            tag = dim * 2 + (1 if direction < 0 else 0)
+            data = self.comm.receive(neighbour, self.rank, tag)
+            where = "low_ghost" if direction < 0 else "high_ghost"
+            buffer.data[slab(dim, where)] = data
+        return []
+
+    def _buffer_slices(self, op: Operation, buffer: MemoryBuffer):
+        lb_attr = op.get_attr_or_none("slice_lb")
+        ub_attr = op.get_attr_or_none("slice_ub")
+        if lb_attr is None or ub_attr is None:
+            return tuple(slice(None) for _ in buffer.data.shape)
+        return tuple(
+            slice(l, u) for l, u in zip(lb_attr.as_tuple(), ub_attr.as_tuple())
+        )
+
+    def _exec_mpi_isend(self, op: Operation, frame: Frame):
+        buffer = frame.get(op.operands[0])
+        if isinstance(buffer, FieldValue):
+            buffer = buffer.buffer
+        peer = int(_as_python(frame.get(op.operands[1])))
+        tag = int(_as_python(frame.get(op.operands[2])))
+        if peer < 0:
+            return [{"type": "send"}]
+        payload = buffer.data[self._buffer_slices(op, buffer)]
+        if self.comm is not None:
+            self.comm.send(self.rank, peer, tag, payload)
+        self.stats["mpi_messages"] += 1
+        self.stats["mpi_bytes"] += payload.nbytes
+        return [{"type": "send"}]
+
+    def _exec_mpi_send(self, op: Operation, frame: Frame):
+        self._exec_mpi_isend(op, frame)
+        return []
+
+    def _exec_mpi_irecv(self, op: Operation, frame: Frame):
+        buffer = frame.get(op.operands[0])
+        if isinstance(buffer, FieldValue):
+            buffer = buffer.buffer
+        peer = int(_as_python(frame.get(op.operands[1])))
+        tag = int(_as_python(frame.get(op.operands[2])))
+        if peer < 0:
+            return [{"type": "noop"}]
+        request = {
+            "type": "recv",
+            "buffer": buffer,
+            "slices": self._buffer_slices(op, buffer),
+            "source": peer,
+            "tag": tag,
+        }
+        return [request]
+
+    def _exec_mpi_recv(self, op: Operation, frame: Frame):
+        request = self._exec_mpi_irecv(op, frame)[0]
+        self._complete_request(request)
+        return []
+
+    def _complete_request(self, request) -> None:
+        if not isinstance(request, dict) or request.get("type") != "recv":
+            return
+        if self.comm is None:
+            return
+        data = self.comm.receive(request["source"], self.rank, request["tag"])
+        request["buffer"].data[request["slices"]] = data
+
+    def _exec_mpi_wait(self, op: Operation, frame: Frame):
+        self._complete_request(frame.get(op.operands[0]))
+        return []
+
+    def _exec_mpi_waitall(self, op: Operation, frame: Frame):
+        for operand in op.operands:
+            self._complete_request(frame.get(operand))
+        return []
+
+
+__all__ = [
+    "Interpreter",
+    "InterpreterError",
+    "Frame",
+    "FieldValue",
+    "TempValue",
+]

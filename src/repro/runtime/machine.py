@@ -1,0 +1,85 @@
+"""Machine descriptions used by the performance model.
+
+The paper's experiments ran on ARCHER2 (HPE Cray EX, 2x 64-core AMD EPYC 7742
+"Rome" per node, 8 NUMA regions, Slingshot interconnect) and on Cirrus V100
+GPU nodes.  Neither machine is available offline, so the throughput figures
+are regenerated from analytic machine models; every parameter is documented
+here and EXPERIMENTS.md records where values were calibrated against the
+paper's reported speedups rather than measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CPUNodeModel:
+    """One dual-socket ARCHER2 compute node."""
+
+    name: str = "ARCHER2 node (2x AMD EPYC 7742)"
+    cores: int = 128
+    numa_regions: int = 8
+    clock_hz: float = 2.25e9
+    #: peak double-precision flops per core per cycle (AVX2, 2 FMA pipes).
+    flops_per_cycle: float = 16.0
+    #: sustainable memory bandwidth of the whole node (STREAM-like).
+    node_bandwidth: float = 190e9
+    #: sustainable memory bandwidth a single core can draw.
+    core_bandwidth: float = 14e9
+    #: cost of an OpenMP fork/join + barrier, per parallel region.
+    omp_overhead_base: float = 4e-6
+    #: additional per-thread component of the OpenMP overhead.
+    omp_overhead_per_thread: float = 0.15e-6
+
+    @property
+    def core_peak_flops(self) -> float:
+        return self.clock_hz * self.flops_per_cycle
+
+    def bandwidth(self, threads: int) -> float:
+        """Aggregate bandwidth available to ``threads`` cores (NUMA-aware ramp)."""
+        threads = max(1, min(threads, self.cores))
+        return min(threads * self.core_bandwidth, self.node_bandwidth)
+
+    def omp_overhead(self, threads: int) -> float:
+        if threads <= 1:
+            return 0.0
+        return self.omp_overhead_base + self.omp_overhead_per_thread * threads
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """An Nvidia V100-SXM2-16GB as found in Cirrus GPU nodes."""
+
+    name: str = "Nvidia V100-SXM2-16GB"
+    peak_flops: float = 7.0e12          # FP64
+    memory_bandwidth: float = 830e9     # effective HBM2
+    pcie_bandwidth: float = 12e9        # effective host<->device
+    kernel_launch_latency: float = 8e-6
+    memory_bytes: int = 16 * 1024**3
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """HPE Cray Slingshot as configured on ARCHER2."""
+
+    name: str = "Slingshot"
+    latency: float = 1.8e-6                 # per message
+    bandwidth_per_node: float = 2 * 12.5e9  # two 100 Gbps bidirectional links
+    per_rank_message_overhead: float = 0.4e-6
+
+
+#: Default instances used throughout the harness.
+ARCHER2_NODE = CPUNodeModel()
+CIRRUS_V100 = GPUModel()
+SLINGSHOT = InterconnectModel()
+
+
+__all__ = [
+    "CPUNodeModel",
+    "GPUModel",
+    "InterconnectModel",
+    "ARCHER2_NODE",
+    "CIRRUS_V100",
+    "SLINGSHOT",
+]

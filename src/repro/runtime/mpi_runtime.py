@@ -1,0 +1,206 @@
+"""Simulated MPI: in-process ranks exchanging numpy data.
+
+The real system runs one MPI process per core on ARCHER2.  Offline we simulate
+a communicator whose ranks live in the same Python process (optionally on
+separate threads): sends copy data into a mailbox, receives block until a
+matching message is available, and every message is accounted (count + bytes)
+so the distributed-memory cost model can be driven by observed communication.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class MPIError(Exception):
+    """Raised on invalid communicator usage (bad rank, missing message, ...)."""
+
+
+@dataclass
+class Message:
+    source: int
+    dest: int
+    tag: int
+    payload: np.ndarray
+
+
+@dataclass
+class PendingReceive:
+    """An irecv that has been posted but not yet completed."""
+
+    source: int
+    tag: int
+    completion: Callable[[np.ndarray], None]
+    done: bool = False
+
+
+class SimulatedCommunicator:
+    """An MPI_COMM_WORLD equivalent for in-process ranks."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise MPIError("communicator size must be >= 1")
+        self.size = size
+        self._mailboxes: Dict[Tuple[int, int, int], List[np.ndarray]] = {}
+        self._lock = threading.Condition()
+        self.message_count = 0
+        self.bytes_sent = 0
+        self._barrier_count = 0
+        self._barrier_generation = 0
+
+    # ------------------------------------------------------------------
+    # Point to point
+    # ------------------------------------------------------------------
+
+    def send(self, source: int, dest: int, tag: int, payload: np.ndarray) -> None:
+        self._check_rank(source)
+        self._check_rank(dest)
+        data = np.array(payload, copy=True)
+        with self._lock:
+            key = (source, dest, tag)
+            self._mailboxes.setdefault(key, []).append(data)
+            self.message_count += 1
+            self.bytes_sent += int(data.nbytes)
+            self._lock.notify_all()
+
+    def receive(self, source: int, dest: int, tag: int, timeout: float = 30.0) -> np.ndarray:
+        self._check_rank(source)
+        self._check_rank(dest)
+        key = (source, dest, tag)
+        with self._lock:
+            deadline_ok = self._lock.wait_for(
+                lambda: self._mailboxes.get(key), timeout=timeout
+            )
+            if not deadline_ok:
+                raise MPIError(
+                    f"receive timed out: rank {dest} waiting for message from "
+                    f"rank {source} with tag {tag}"
+                )
+            return self._mailboxes[key].pop(0)
+
+    def try_receive(self, source: int, dest: int, tag: int) -> Optional[np.ndarray]:
+        key = (source, dest, tag)
+        with self._lock:
+            queue = self._mailboxes.get(key)
+            if queue:
+                return queue.pop(0)
+        return None
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+
+    def barrier(self, rank: int) -> None:
+        with self._lock:
+            generation = self._barrier_generation
+            self._barrier_count += 1
+            if self._barrier_count == self.size:
+                self._barrier_count = 0
+                self._barrier_generation += 1
+                self._lock.notify_all()
+            else:
+                self._lock.wait_for(
+                    lambda: self._barrier_generation != generation, timeout=30.0
+                )
+
+    def allreduce(self, rank: int, value: float, op: str = "sum",
+                  contributions: Optional[Dict[int, float]] = None) -> float:
+        # A simplified allreduce used by sequential rank execution: the caller
+        # provides all contributions (the lockstep executor gathers them).
+        if contributions is None:
+            return value
+        values = list(contributions.values())
+        if op == "sum":
+            return float(np.sum(values))
+        if op == "min":
+            return float(np.min(values))
+        if op == "max":
+            return float(np.max(values))
+        raise MPIError(f"unsupported allreduce op '{op}'")
+
+    # ------------------------------------------------------------------
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise MPIError(f"rank {rank} out of range for communicator of size {self.size}")
+
+
+@dataclass
+class CartesianDecomposition:
+    """A block decomposition of an N-d global domain over a process grid.
+
+    The paper decomposes the 3-D Gauss-Seidel domain over a 2-D process grid
+    (§4.4); this helper supports any subset of decomposed dimensions.
+    """
+
+    global_shape: Tuple[int, ...]
+    grid_shape: Tuple[int, ...]
+    decomposed_dims: Tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.grid_shape) != len(self.decomposed_dims):
+            raise MPIError("grid_shape and decomposed_dims must have equal length")
+
+    @property
+    def num_ranks(self) -> int:
+        n = 1
+        for p in self.grid_shape:
+            n *= p
+        return n
+
+    def coords_of(self, rank: int) -> Tuple[int, ...]:
+        coords = []
+        remaining = rank
+        for extent in reversed(self.grid_shape):
+            coords.append(remaining % extent)
+            remaining //= extent
+        return tuple(reversed(coords))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        rank = 0
+        for coord, extent in zip(coords, self.grid_shape):
+            if not (0 <= coord < extent):
+                return -1
+            rank = rank * extent + coord
+        return rank
+
+    def local_bounds(self, rank: int) -> List[Tuple[int, int]]:
+        """Half-open [lb, ub) bounds of the sub-domain owned by ``rank``."""
+        coords = self.coords_of(rank)
+        bounds: List[Tuple[int, int]] = []
+        for dim, extent in enumerate(self.global_shape):
+            if dim in self.decomposed_dims:
+                position = self.decomposed_dims.index(dim)
+                parts = self.grid_shape[position]
+                coord = coords[position]
+                base = extent // parts
+                remainder = extent % parts
+                lb = coord * base + min(coord, remainder)
+                size = base + (1 if coord < remainder else 0)
+                bounds.append((lb, lb + size))
+            else:
+                bounds.append((0, extent))
+        return bounds
+
+    def neighbours(self, rank: int) -> Dict[Tuple[int, int], int]:
+        """Map (decomposed dim, direction ±1) -> neighbour rank (or -1)."""
+        coords = list(self.coords_of(rank))
+        result: Dict[Tuple[int, int], int] = {}
+        for position, dim in enumerate(self.decomposed_dims):
+            for direction in (-1, +1):
+                shifted = list(coords)
+                shifted[position] += direction
+                result[(dim, direction)] = self.rank_of(shifted)
+        return result
+
+
+__all__ = [
+    "SimulatedCommunicator",
+    "CartesianDecomposition",
+    "Message",
+    "MPIError",
+]

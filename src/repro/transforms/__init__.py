@@ -1,0 +1,63 @@
+"""Transformation passes: discovery, extraction, fusion, lowerings, pipelines."""
+
+from .cleanup import (
+    CanonicalizePass,
+    CSEPass,
+    DeadCodeEliminationPass,
+    ReconcileUnrealizedCastsPass,
+    eliminate_dead_code,
+)
+from .distributed import ConvertDMPToMPIPass, ConvertStencilToDMPPass, NeighbourRankOp
+from .gpu_data_management import GpuHostRegisterPass, GpuOptimisedDataPass
+from .parallel_lowering import (
+    ConvertParallelLoopsToGpuPass,
+    ConvertSCFToOpenMPPass,
+    GpuMapParallelLoopsPass,
+    ParallelLoopTilingPass,
+)
+from .pipelines import (
+    CPU_PIPELINE,
+    DMP_PIPELINE,
+    FIR_STENCIL_PIPELINE,
+    GPU_PIPELINE,
+    GPU_STENCIL_PIPELINE,
+    OPENMP_PIPELINE,
+    PIPELINES,
+    build_pass_manager,
+    run_pipeline,
+)
+from .stencil_discovery import StencilDiscoveryPass
+from .stencil_extraction import ExtractStencilsPass
+from .stencil_fusion import StencilFusionPass, merge_adjacent_applies
+from .stencil_lowering import ConvertStencilToSCFPass
+
+__all__ = [
+    "StencilDiscoveryPass",
+    "ExtractStencilsPass",
+    "StencilFusionPass",
+    "merge_adjacent_applies",
+    "ConvertStencilToSCFPass",
+    "ConvertSCFToOpenMPPass",
+    "ParallelLoopTilingPass",
+    "GpuMapParallelLoopsPass",
+    "ConvertParallelLoopsToGpuPass",
+    "GpuHostRegisterPass",
+    "GpuOptimisedDataPass",
+    "ConvertStencilToDMPPass",
+    "ConvertDMPToMPIPass",
+    "NeighbourRankOp",
+    "CanonicalizePass",
+    "CSEPass",
+    "DeadCodeEliminationPass",
+    "ReconcileUnrealizedCastsPass",
+    "eliminate_dead_code",
+    "CPU_PIPELINE",
+    "OPENMP_PIPELINE",
+    "GPU_PIPELINE",
+    "GPU_STENCIL_PIPELINE",
+    "DMP_PIPELINE",
+    "FIR_STENCIL_PIPELINE",
+    "PIPELINES",
+    "build_pass_manager",
+    "run_pipeline",
+]

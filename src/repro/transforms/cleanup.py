@@ -1,0 +1,207 @@
+"""Generic cleanup passes: canonicalisation, CSE and dead code elimination.
+
+These stand in for the standard MLIR passes the paper's pipelines invoke
+between the structural lowerings (``canonicalize``, ``cse``,
+``reconcile-unrealized-casts``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..dialects import arith
+from ..dialects.builtin import UnrealizedConversionCastOp
+from ..ir.context import Context
+from ..ir.operation import Operation
+from ..ir.pass_manager import ModulePass, register_pass
+from ..ir.traits import HasMemoryEffect, IsTerminator, has_trait
+
+
+def _is_pure(op: Operation) -> bool:
+    if op.regions:
+        return False
+    if has_trait(op, HasMemoryEffect) or has_trait(op, IsTerminator):
+        return False
+    if not op.results:
+        return False
+    side_effect_free_prefixes = ("arith.", "math.", "builtin.unrealized", "stencil.index")
+    pure_names = {
+        "fir.convert", "fir.no_reassoc", "fir.declare", "fir.coordinate_of",
+        "memref.cast", "memref.dim", "stencil.access",
+    }
+    return op.name.startswith(side_effect_free_prefixes) or op.name in pure_names
+
+
+def eliminate_dead_code(root: Operation) -> int:
+    """Remove pure operations whose results are unused; returns removal count."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for op in list(root.walk(include_self=False)):
+            if op.parent is None or not _is_pure(op):
+                continue
+            if any(r.has_uses for r in op.results):
+                continue
+            op.erase()
+            removed += 1
+            changed = True
+    return removed
+
+
+@register_pass
+class DeadCodeEliminationPass(ModulePass):
+    """``dce`` — drop unused pure operations."""
+
+    name = "dce"
+
+    def apply(self, ctx: Context, module: Operation) -> None:
+        eliminate_dead_code(module)
+
+
+@register_pass
+class CanonicalizePass(ModulePass):
+    """``canonicalize`` — constant folding of arith ops plus DCE."""
+
+    name = "canonicalize"
+
+    def apply(self, ctx: Context, module: Operation) -> None:
+        self._fold_constants(module)
+        eliminate_dead_code(module)
+
+    _FOLDERS = {
+        "arith.addi": lambda a, b: a + b,
+        "arith.subi": lambda a, b: a - b,
+        "arith.muli": lambda a, b: a * b,
+        "arith.addf": lambda a, b: a + b,
+        "arith.subf": lambda a, b: a - b,
+        "arith.mulf": lambda a, b: a * b,
+        "arith.divf": lambda a, b: a / b if b != 0 else None,
+    }
+
+    def _fold_constants(self, module: Operation) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for op in list(module.walk(include_self=False)):
+                if op.parent is None or op.name not in self._FOLDERS:
+                    continue
+                operands = []
+                for operand in op.operands:
+                    defining = getattr(operand, "op", None)
+                    if isinstance(defining, arith.ConstantOp):
+                        operands.append(defining.literal)
+                    else:
+                        operands.append(None)
+                if any(v is None for v in operands):
+                    continue
+                folded = self._FOLDERS[op.name](*operands)
+                if folded is None:
+                    continue
+                block = op.parent_block()
+                constant = arith.ConstantOp(folded, op.results[0].type)
+                block.insert_op_before(constant, op)
+                op.results[0].replace_all_uses_with(constant.results[0])
+                op.erase()
+                changed = True
+
+
+@register_pass
+class CSEPass(ModulePass):
+    """``cse`` — merge syntactically identical pure operations within a block."""
+
+    name = "cse"
+
+    def apply(self, ctx: Context, module: Operation) -> None:
+        for op in list(module.walk()):
+            for region in op.regions:
+                for block in region.blocks:
+                    self._run_on_block(block)
+        eliminate_dead_code(module)
+
+    def _run_on_block(self, block) -> None:
+        seen: Dict[Tuple, Operation] = {}
+        for op in list(block.ops):
+            if not _is_pure(op):
+                continue
+            key = (
+                op.name,
+                tuple(id(o) for o in op.operands),
+                tuple(sorted((k, v) for k, v in op.attributes.items())),
+                tuple(r.type for r in op.results),
+            )
+            existing = seen.get(key)
+            if existing is None:
+                seen[key] = op
+                continue
+            for old, new in zip(op.results, existing.results):
+                old.replace_all_uses_with(new)
+            op.erase()
+
+
+@register_pass
+class ReconcileUnrealizedCastsPass(ModulePass):
+    """``reconcile-unrealized-casts`` — erase cast pairs that cancel out."""
+
+    name = "reconcile-unrealized-casts"
+
+    def apply(self, ctx: Context, module: Operation) -> None:
+        for op in list(module.walk()):
+            if not isinstance(op, UnrealizedConversionCastOp) or op.parent is None:
+                continue
+            # A cast whose results all have the same types as its operands can
+            # be folded away entirely.
+            if len(op.results) == len(op.operands) and all(
+                r.type == o.type for r, o in zip(op.results, op.operands)
+            ):
+                for result, operand in zip(op.results, op.operands):
+                    result.replace_all_uses_with(operand)
+                op.erase()
+        eliminate_dead_code(module)
+
+
+# Stand-ins for MLIR passes that appear in the paper's pipelines but whose
+# effect is either irrelevant to the simulated execution or folded into other
+# passes here.  Registering them keeps the textual pipelines of Listing 4 valid.
+class _NoOpPass(ModulePass):
+    def __init__(self, **_options):
+        pass
+
+    def apply(self, ctx: Context, module: Operation) -> None:
+        return
+
+
+def _register_noop(name: str) -> None:
+    cls = type(f"_NoOp_{name.replace('-', '_')}", (_NoOpPass,), {"name": name})
+    register_pass(cls)
+
+
+for _name in (
+    "test-math-algebraic-simplification",
+    "test-expand-math",
+    "fold-memref-alias-ops",
+    "finalize-memref-to-llvm",
+    "lower-affine",
+    "gpu-kernel-outlining",
+    "gpu-async-region",
+    "convert-arith-to-llvm",
+    "convert-scf-to-cf",
+    "convert-cf-to-llvm",
+    "convert-gpu-to-nvvm",
+    "gpu-to-cubin",
+    "gpu-to-llvm",
+    "scf-for-loop-specialization",
+    "scf-parallel-loop-specialization",
+    "func.func",
+    "gpu.module",
+):
+    _register_noop(_name)
+
+
+__all__ = [
+    "DeadCodeEliminationPass",
+    "CanonicalizePass",
+    "CSEPass",
+    "ReconcileUnrealizedCastsPass",
+    "eliminate_dead_code",
+]

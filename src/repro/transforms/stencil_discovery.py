@@ -1,0 +1,695 @@
+"""Stencil discovery: find loop nests in FIR and rewrite them to the stencil dialect.
+
+This is the paper's primary contribution (§3, Listing 3).  The pass:
+
+1. gathers every ``fir.do_loop`` in a function and identifies the memory slot
+   of its loop variable (Flang stores the converted induction value into the
+   variable's alloca at the top of the body);
+2. iterates over every array store (``fir.store`` through a
+   ``fir.coordinate_of``), walking the index expressions backwards to decide
+   whether the store is *indexed by loops* — i.e. each dimension's index is a
+   loop variable plus a constant offset;
+3. collects every array read on the right-hand side along with its per-
+   dimension constant offsets relative to the store;
+4. generates ``stencil.external_load`` / ``stencil.load`` operations for every
+   array involved, a ``stencil.apply`` whose body re-expresses the arithmetic
+   using ``stencil.access`` (and ``stencil.index`` for direct loop-variable
+   uses), and a ``stencil.store`` for the output;
+5. inserts the generated operations directly before the outermost driving
+   loop, removes the now-dead arithmetic, and erases loops left empty;
+6. finally merges adjacent stencils with identical bounds
+   (:mod:`repro.transforms.stencil_fusion` exposes the same merge as a
+   standalone pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dialects import arith, fir, math_dialect, stencil
+from ..dialects.func import FuncOp
+from ..ir.attributes import StringAttr
+from ..ir.builder import Builder
+from ..ir.context import Context
+from ..ir.operation import Block, Operation, Region
+from ..ir.pass_manager import ModulePass, register_pass
+from ..ir.ssa import BlockArgument, OpResult, SSAValue
+from ..ir.types import FloatType, IndexType, IntegerType, f64, index
+from .stencil_fusion import merge_adjacent_applies
+
+
+class DiscoveryError(Exception):
+    """Internal: a candidate store turned out not to be a stencil."""
+
+
+# ---------------------------------------------------------------------------
+# Analysis data structures
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoopInfo:
+    """One ``fir.do_loop`` plus the facts discovery needs about it."""
+
+    op: fir.DoLoopOp
+    var_ref: Optional[SSAValue]  # the declare/alloca the induction value is stored to
+    lower: Optional[int]
+    upper: Optional[int]
+    step: Optional[int]
+
+    @property
+    def has_constant_bounds(self) -> bool:
+        return self.lower is not None and self.upper is not None and self.step == 1
+
+
+@dataclass
+class ArrayAccess:
+    """One array read or write: the array plus per-dimension (loop, offset)."""
+
+    root: SSAValue  # the array's storage reference (fir.declare result)
+    name: str
+    dims: List[Tuple[Optional[LoopInfo], int]] = field(default_factory=list)
+    load_op: Optional[Operation] = None  # the fir.load for reads
+
+
+@dataclass
+class StencilCandidate:
+    """A store that has been proven to be a stencil computation."""
+
+    store_op: fir.StoreOp
+    output: ArrayAccess
+    reads: List[ArrayAccess]
+    loops: List[LoopInfo]  # per output dimension, the driving loop
+    lb: Tuple[int, ...]
+    ub: Tuple[int, ...]
+
+
+@dataclass
+class GeneratedStencil:
+    """The operations generated for one (or a group of) candidate stores."""
+
+    applicable_loops: List[LoopInfo]
+    ops: List[Operation]
+
+
+# ---------------------------------------------------------------------------
+# Loop gathering
+# ---------------------------------------------------------------------------
+
+
+def gather_program_loops(func_op: FuncOp) -> List[LoopInfo]:
+    """Collect every ``fir.do_loop`` with its loop-variable slot and bounds."""
+    loops: List[LoopInfo] = []
+    for op in func_op.walk():
+        if not isinstance(op, fir.DoLoopOp):
+            continue
+        loops.append(
+            LoopInfo(
+                op=op,
+                var_ref=_loop_variable_storage(op),
+                lower=_trace_constant(op.lower_bound),
+                upper=_trace_constant(op.upper_bound),
+                step=_trace_constant(op.step),
+            )
+        )
+    return loops
+
+
+def _loop_variable_storage(loop: fir.DoLoopOp) -> Optional[SSAValue]:
+    """The storage the loop's induction variable is written to each iteration."""
+    induction = loop.induction_variable
+    for op in loop.body.block.ops:
+        if isinstance(op, fir.StoreOp):
+            value = op.value
+            if isinstance(value, OpResult) and isinstance(value.op, fir.ConvertOp):
+                if value.op.value is induction:
+                    return op.memref
+            if value is induction:
+                return op.memref
+    return None
+
+
+def _trace_constant(value: SSAValue) -> Optional[int]:
+    """Trace a bound value back to an integer constant if possible."""
+    seen = 0
+    while isinstance(value, OpResult) and seen < 32:
+        seen += 1
+        op = value.op
+        if isinstance(op, arith.ConstantOp):
+            literal = op.literal
+            return int(literal) if float(literal).is_integer() else None
+        if isinstance(op, (fir.ConvertOp, fir.NoReassocOp)):
+            value = op.operands[0]
+            continue
+        if isinstance(op, arith.AddiOp):
+            lhs = _trace_constant(op.lhs)
+            rhs = _trace_constant(op.rhs)
+            return lhs + rhs if lhs is not None and rhs is not None else None
+        if isinstance(op, arith.SubiOp):
+            lhs = _trace_constant(op.lhs)
+            rhs = _trace_constant(op.rhs)
+            return lhs - rhs if lhs is not None and rhs is not None else None
+        if isinstance(op, arith.MuliOp):
+            lhs = _trace_constant(op.lhs)
+            rhs = _trace_constant(op.rhs)
+            return lhs * rhs if lhs is not None and rhs is not None else None
+        return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Index expression analysis
+# ---------------------------------------------------------------------------
+
+
+def _trace_index_expression(value: SSAValue) -> Tuple[Optional[SSAValue], int]:
+    """Decompose an index expression into (variable storage, constant offset).
+
+    Returns ``(None, c)`` for pure constants and raises :class:`DiscoveryError`
+    when the expression is not of the supported affine form var±const.
+    """
+    if isinstance(value, BlockArgument):
+        # A do_loop induction variable used directly.
+        owner = value.owner()
+        parent = owner.parent_op() if isinstance(owner, Block) else None
+        if isinstance(parent, fir.DoLoopOp):
+            storage = _loop_variable_storage(parent)
+            if storage is not None:
+                return storage, 0
+        raise DiscoveryError("index expression uses an unsupported block argument")
+    if not isinstance(value, OpResult):
+        raise DiscoveryError("index expression has no defining operation")
+    op = value.op
+    if isinstance(op, arith.ConstantOp):
+        return None, int(op.literal)
+    if isinstance(op, (fir.ConvertOp, fir.NoReassocOp)):
+        return _trace_index_expression(op.operands[0])
+    if isinstance(op, fir.LoadOp):
+        ref = op.memref
+        return ref, 0
+    if isinstance(op, arith.AddiOp):
+        lvar, loff = _trace_index_expression(op.lhs)
+        rvar, roff = _trace_index_expression(op.rhs)
+        if lvar is not None and rvar is not None:
+            raise DiscoveryError("index expression adds two variables")
+        return lvar or rvar, loff + roff
+    if isinstance(op, arith.SubiOp):
+        lvar, loff = _trace_index_expression(op.lhs)
+        rvar, roff = _trace_index_expression(op.rhs)
+        if rvar is not None:
+            raise DiscoveryError("index expression subtracts a variable")
+        return lvar, loff - roff
+    raise DiscoveryError(f"unsupported operation '{op.name}' in index expression")
+
+
+def _array_root_and_name(ref: SSAValue) -> Tuple[SSAValue, str]:
+    """Resolve the storage root (declare result) and a printable name."""
+    current = ref
+    for _ in range(16):
+        if isinstance(current, OpResult):
+            op = current.op
+            if isinstance(op, fir.DeclareOp):
+                return current, op.uniq_name.split("E")[-1]
+            if isinstance(op, (fir.ConvertOp, fir.NoReassocOp)):
+                current = op.operands[0]
+                continue
+            if isinstance(op, (fir.AllocaOp, fir.AllocMemOp)):
+                name = op.uniq_name or "array"
+                return current, name.split("E")[-1]
+        break
+    name = current.name_hint or "array"
+    return current, name
+
+
+def _array_shape(root: SSAValue) -> Optional[Tuple[int, ...]]:
+    shape = fir.array_shape_of(root.type)
+    if shape is None:
+        return None
+    if any(s < 0 for s in shape):
+        return None
+    return tuple(shape)
+
+
+# ---------------------------------------------------------------------------
+# Store classification (is_indexed_by_loops + RHS analysis)
+# ---------------------------------------------------------------------------
+
+
+def _enclosing_loops(op: Operation) -> List[fir.DoLoopOp]:
+    loops: List[fir.DoLoopOp] = []
+    parent = op.parent_op()
+    while parent is not None:
+        if isinstance(parent, fir.DoLoopOp):
+            loops.append(parent)
+        parent = parent.parent_op()
+    return loops
+
+
+def _classify_access(
+    coord: fir.CoordinateOfOp, loops_by_storage: Dict[int, LoopInfo]
+) -> ArrayAccess:
+    root, name = _array_root_and_name(coord.ref)
+    access = ArrayAccess(root=root, name=name)
+    for index_value in coord.indices:
+        storage, offset = _trace_index_expression(index_value)
+        if storage is None:
+            access.dims.append((None, offset))
+            continue
+        loop = loops_by_storage.get(id(storage))
+        if loop is None:
+            raise DiscoveryError("array index is not driven by a known loop variable")
+        access.dims.append((loop, offset))
+    return access
+
+
+def enclosing_loop_map(store_op: fir.StoreOp, loops: Sequence[LoopInfo]) -> Dict[int, LoopInfo]:
+    """Map loop-variable storage id -> the *enclosing* loop driving it.
+
+    The same loop variable (e.g. ``i``) may drive several sibling loop nests;
+    each store must be related to the loops that actually enclose it.
+    """
+    enclosing = {id(op) for op in _enclosing_loops(store_op)}
+    mapping: Dict[int, LoopInfo] = {}
+    for info in loops:
+        if info.var_ref is not None and id(info.op) in enclosing:
+            mapping[id(info.var_ref)] = info
+    return mapping
+
+
+def is_indexed_by_loops(store_op: fir.StoreOp, loops: Sequence[LoopInfo]) -> bool:
+    """Paper Listing 3's predicate: every store index is loop-variable driven."""
+    ref = store_op.memref
+    if not (isinstance(ref, OpResult) and isinstance(ref.op, fir.CoordinateOfOp)):
+        return False
+    loops_by_storage = enclosing_loop_map(store_op, loops)
+    try:
+        access = _classify_access(ref.op, loops_by_storage)
+    except DiscoveryError:
+        return False
+    for loop, _offset in access.dims:
+        if loop is None:
+            return False
+        if not loop.has_constant_bounds:
+            return False
+    return True
+
+
+def get_array_read_data_ops(store_op: fir.StoreOp) -> List[fir.LoadOp]:
+    """All array ``fir.load`` operations feeding the stored value."""
+    reads: List[fir.LoadOp] = []
+    visited = set()
+
+    def visit(value: SSAValue) -> None:
+        if id(value) in visited or not isinstance(value, OpResult):
+            return
+        visited.add(id(value))
+        op = value.op
+        if isinstance(op, fir.LoadOp):
+            ref = op.memref
+            if isinstance(ref, OpResult) and isinstance(ref.op, fir.CoordinateOfOp):
+                reads.append(op)
+                return
+            return  # scalar load: handled separately as an external value
+        for operand in op.operands:
+            visit(operand)
+
+    visit(store_op.value)
+    return reads
+
+
+# ---------------------------------------------------------------------------
+# The pass
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class StencilDiscoveryPass(ModulePass):
+    """Rewrite loop-nest stencil computations in FIR into the stencil dialect."""
+
+    name = "discover-stencils"
+
+    def __init__(self, merge: bool = True):
+        self.merge = merge
+        #: Filled during apply(): number of stencils found per function.
+        self.discovered: Dict[str, int] = {}
+
+    def apply(self, ctx: Context, module: Operation) -> None:
+        for op in list(module.walk()):
+            if isinstance(op, FuncOp) and not op.is_declaration:
+                count = self._apply_to_function(op)
+                if count:
+                    self.discovered[op.sym_name] = count
+
+    # ------------------------------------------------------------------
+
+    def _apply_to_function(self, func_op: FuncOp) -> int:
+        loops = gather_program_loops(func_op)
+        if not loops:
+            return 0
+
+        candidates: List[StencilCandidate] = []
+        for op in list(func_op.walk()):
+            if not isinstance(op, fir.StoreOp):
+                continue
+            if not is_indexed_by_loops(op, loops):
+                continue
+            candidate = self._analyse_store(op, enclosing_loop_map(op, loops))
+            if candidate is not None:
+                candidates.append(candidate)
+
+        pairs: List[Tuple[StencilCandidate, GeneratedStencil]] = []
+        for candidate in candidates:
+            generated = self._generate_stencil_ops(candidate)
+            if generated is not None:
+                pairs.append((candidate, generated))
+
+        # Insert the generated operations directly before the outermost loop
+        # involved in each stencil, then drop the original store.
+        inserted = 0
+        for candidate, generated in pairs:
+            top_loop = self._find_top_level_loop(generated.applicable_loops)
+            block = top_loop.op.parent_block()
+            if block is None:
+                continue
+            block.insert_ops_before(generated.ops, top_loop.op)
+            candidate.store_op.erase()
+            inserted += 1
+
+        if inserted:
+            _erase_dead_arithmetic(func_op)
+            _remove_empty_loops(func_op)
+            if self.merge:
+                merge_adjacent_applies(func_op)
+        return inserted
+
+    # ------------------------------------------------------------------
+
+    def _analyse_store(
+        self, store_op: fir.StoreOp, loops_by_storage: Dict[int, LoopInfo]
+    ) -> Optional[StencilCandidate]:
+        coord = store_op.memref.op  # type: ignore[union-attr]
+        try:
+            output = _classify_access(coord, loops_by_storage)
+            read_loads = get_array_read_data_ops(store_op)
+            reads = []
+            for load in read_loads:
+                access = _classify_access(load.memref.op, loops_by_storage)  # type: ignore[union-attr]
+                access.load_op = load
+                reads.append(access)
+        except DiscoveryError:
+            return None
+
+        if _array_shape(output.root) is None:
+            return None
+        for read in reads:
+            if _array_shape(read.root) is None:
+                return None
+            if len(read.dims) != len(output.dims):
+                return None
+            for (read_loop, _), (out_loop, _) in zip(read.dims, output.dims):
+                if read_loop is not None and out_loop is not None and read_loop is not out_loop:
+                    return None  # transposed access patterns are not stencils here
+
+        driving_loops: List[LoopInfo] = []
+        lb: List[int] = []
+        ub: List[int] = []
+        for loop, offset in output.dims:
+            if loop is None or not loop.has_constant_bounds:
+                return None
+            driving_loops.append(loop)
+            # Stencil index space == zero-based array index space of the output:
+            # Fortran loop bounds are inclusive, stencil bounds are half open.
+            lb.append(loop.lower + offset)
+            ub.append(loop.upper + offset + 1)
+        if len(set(id(l.op) for l in driving_loops)) != len(driving_loops):
+            return None  # one loop drives two dimensions: not a dense stencil
+
+        return StencilCandidate(
+            store_op=store_op,
+            output=output,
+            reads=reads,
+            loops=driving_loops,
+            lb=tuple(lb),
+            ub=tuple(ub),
+        )
+
+    # ------------------------------------------------------------------
+    # Stencil op generation
+    # ------------------------------------------------------------------
+
+    def _generate_stencil_ops(self, candidate: StencilCandidate) -> Optional[GeneratedStencil]:
+        store_op = candidate.store_op
+        elem_type = store_op.value.type
+        generated: List[Operation] = []
+
+        # generate_stencil_field_load for every unique array (reads first, then
+        # the output, matching Listing 3's ordering).
+        field_for_root: Dict[int, SSAValue] = {}
+        temp_for_root: Dict[int, SSAValue] = {}
+        temp_order: List[int] = []
+
+        def ensure_field(root: SSAValue) -> SSAValue:
+            if id(root) in field_for_root:
+                return field_for_root[id(root)]
+            shape = _array_shape(root)
+            field_type = stencil.FieldType([[0, s] for s in shape],
+                                           fir.element_type_of(root.type))
+            load = stencil.ExternalLoadOp(root, field_type)
+            generated.append(load)
+            field_for_root[id(root)] = load.results[0]
+            return load.results[0]
+
+        for read in candidate.reads:
+            if id(read.root) not in temp_for_root:
+                field_value = ensure_field(read.root)
+                temp_load = stencil.LoadOp(field_value)
+                generated.append(temp_load)
+                temp_for_root[id(read.root)] = temp_load.results[0]
+                temp_order.append(id(read.root))
+        output_field = ensure_field(candidate.output.root)
+
+        # Scalar values read from memory outside the loops become extra apply
+        # operands (loaded freshly just before the stencil ops).
+        scalar_operands: Dict[int, SSAValue] = {}
+
+        apply_inputs: List[SSAValue] = [temp_for_root[k] for k in temp_order]
+        body_block = Block(arg_types=[v.type for v in apply_inputs])
+        arg_for_root = {
+            root_id: body_block.args[i] for i, root_id in enumerate(temp_order)
+        }
+
+        builder = Builder.at_end(body_block)
+        value_map: Dict[int, SSAValue] = {}
+        loop_dim = {id(loop.op): dim for dim, loop in enumerate(candidate.loops)}
+        read_by_load = {id(r.load_op): r for r in candidate.reads if r.load_op is not None}
+
+        def offsets_relative_to_store(read: ArrayAccess) -> List[int]:
+            rel = []
+            for (r_loop, r_off), (o_loop, o_off) in zip(read.dims, candidate.output.dims):
+                rel.append(r_off - o_off)
+            return rel
+
+        def rebuild(value: SSAValue) -> SSAValue:
+            """Recreate the value's expression inside the apply body."""
+            if id(value) in value_map:
+                return value_map[id(value)]
+            if not isinstance(value, OpResult):
+                raise DiscoveryError("cannot rebuild a block-argument value")
+            op = value.op
+            result: SSAValue
+            if isinstance(op, fir.LoadOp) and id(op) in read_by_load:
+                read = read_by_load[id(op)]
+                access = stencil.AccessOp(
+                    arg_for_root[id(read.root)], offsets_relative_to_store(read)
+                )
+                builder.insert(access)
+                result = access.results[0]
+            elif isinstance(op, fir.LoadOp):
+                ref = op.memref
+                # Loop variable used directly in the computation -> stencil.index
+                matching_loop = None
+                for loop in candidate.loops:
+                    if loop.var_ref is ref:
+                        matching_loop = loop
+                        break
+                if matching_loop is not None:
+                    dim = loop_dim[id(matching_loop.op)]
+                    index_op = builder.insert(stencil.IndexOp(dim))
+                    result = index_op.results[0]
+                    if isinstance(value.type, (IntegerType,)):
+                        cast = builder.insert(arith.IndexCastOp(result, value.type))
+                        result = cast.results[0]
+                else:
+                    # A loop-invariant scalar: load it outside and pass it in.
+                    if id(ref) not in scalar_operands:
+                        outer_load = fir.LoadOp(ref)
+                        generated.append(outer_load)
+                        scalar_operands[id(ref)] = outer_load.results[0]
+                        apply_inputs.append(outer_load.results[0])
+                        new_arg = body_block.add_arg(outer_load.results[0].type)
+                        value_map[id(outer_load.results[0])] = new_arg
+                    outer_value = scalar_operands[id(ref)]
+                    result = value_map[id(outer_value)]
+            elif isinstance(op, arith.ConstantOp):
+                clone = builder.insert(arith.ConstantOp(op.get_attr("value")))
+                result = clone.results[0]
+            elif isinstance(op, fir.NoReassocOp):
+                result = rebuild(op.operands[0])
+            elif isinstance(op, fir.ConvertOp):
+                result = self._rebuild_convert(builder, rebuild(op.operands[0]), value.type)
+            elif op.name.startswith("arith.") or op.name.startswith("math."):
+                new_operands = [rebuild(o) for o in op.operands]
+                clone = op.clone({o: n for o, n in zip(op.operands, new_operands)})
+                builder.insert(clone)
+                result = clone.results[value.index]
+            else:
+                raise DiscoveryError(
+                    f"operation '{op.name}' is not supported inside a stencil body"
+                )
+            value_map[id(value)] = result
+            return result
+
+        try:
+            returned = rebuild(store_op.value)
+        except DiscoveryError:
+            return None
+        builder.insert(stencil.ReturnOp([returned]))
+
+        result_temp_type = stencil.TempType(
+            [[l, u] for l, u in zip(candidate.lb, candidate.ub)], elem_type
+        )
+        apply_op = stencil.ApplyOp(
+            apply_inputs,
+            candidate.lb,
+            candidate.ub,
+            [result_temp_type],
+            Region([body_block]),
+        )
+        generated.append(apply_op)
+        generated.append(
+            stencil.StoreOp(apply_op.results[0], output_field, candidate.lb, candidate.ub)
+        )
+        return GeneratedStencil(applicable_loops=candidate.loops, ops=generated)
+
+    @staticmethod
+    def _rebuild_convert(builder: Builder, value: SSAValue, target) -> SSAValue:
+        """Convert FIR numeric conversions into standard arith casts."""
+        if value.type == target:
+            return value
+        source = value.type
+        if isinstance(source, (IntegerType, IndexType)) and isinstance(target, FloatType):
+            if isinstance(source, IndexType):
+                value = builder.insert(arith.IndexCastOp(value, IntegerType(64))).results[0]
+            return builder.insert(arith.SIToFPOp(value, target)).results[0]
+        if isinstance(source, FloatType) and isinstance(target, (IntegerType,)):
+            return builder.insert(arith.FPToSIOp(value, target)).results[0]
+        if isinstance(source, FloatType) and isinstance(target, FloatType):
+            cls = arith.ExtFOp if target.width > source.width else arith.TruncFOp
+            return builder.insert(cls(value, target)).results[0]
+        if isinstance(source, (IntegerType, IndexType)) and isinstance(
+            target, (IntegerType, IndexType)
+        ):
+            return builder.insert(arith.IndexCastOp(value, target)).results[0]
+        raise DiscoveryError(
+            f"unsupported conversion {source.print()} -> {target.print()}"
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _find_top_level_loop(loops: Sequence[LoopInfo]) -> LoopInfo:
+        """The outermost of the given loops (the one not nested in any other)."""
+        ops = {id(l.op): l for l in loops}
+        for info in loops:
+            parent = info.op.parent_op()
+            is_nested = False
+            while parent is not None:
+                if id(parent) in ops:
+                    is_nested = True
+                    break
+                parent = parent.parent_op()
+            if not is_nested:
+                return info
+        return loops[0]
+
+
+# ---------------------------------------------------------------------------
+# Cleanup helpers
+# ---------------------------------------------------------------------------
+
+_SIDE_EFFECT_FREE = (
+    "arith.", "math.", "fir.convert", "fir.no_reassoc", "fir.coordinate_of",
+    "fir.load", "fir.declare",
+)
+
+
+def _erase_dead_arithmetic(func_op: FuncOp) -> None:
+    """Remove now-unused arithmetic / address / load operations (local DCE)."""
+    changed = True
+    while changed:
+        changed = False
+        for op in list(func_op.walk()):
+            if op is func_op:
+                continue
+            if any(res.has_uses for res in op.results):
+                continue
+            if not op.results:
+                continue
+            if any(op.name.startswith(prefix) for prefix in _SIDE_EFFECT_FREE):
+                op.erase()
+                changed = True
+
+
+def _remove_empty_loops(func_op: FuncOp) -> None:
+    """Erase ``fir.do_loop`` nests whose bodies only maintain their loop variable."""
+    changed = True
+    while changed:
+        changed = False
+        for op in list(func_op.walk()):
+            if not isinstance(op, fir.DoLoopOp):
+                continue
+            if _loop_is_empty(op):
+                op.erase(safe=False)
+                changed = True
+                # The loop bounds may now be dead as well.
+                _erase_dead_arithmetic(func_op)
+
+
+def _loop_is_empty(loop: fir.DoLoopOp) -> bool:
+    induction = loop.induction_variable
+    for op in loop.body.block.ops:
+        if isinstance(op, fir.ResultOp):
+            continue
+        if isinstance(op, fir.ConvertOp) and op.operands[0] is induction:
+            # Only used by the loop-variable store?
+            uses = op.results[0].uses
+            if all(isinstance(u.operation, fir.StoreOp) for u in uses):
+                continue
+            return False
+        if isinstance(op, fir.StoreOp):
+            value = op.value
+            if value is induction:
+                continue
+            if isinstance(value, OpResult) and isinstance(value.op, fir.ConvertOp) \
+                    and value.op.operands[0] is induction:
+                continue
+            return False
+        if isinstance(op, fir.DoLoopOp):
+            if _loop_is_empty(op):
+                continue
+            return False
+        return False
+    return True
+
+
+__all__ = [
+    "StencilDiscoveryPass",
+    "LoopInfo",
+    "ArrayAccess",
+    "StencilCandidate",
+    "gather_program_loops",
+    "is_indexed_by_loops",
+    "get_array_read_data_ops",
+    "DiscoveryError",
+]

@@ -1,0 +1,115 @@
+"""Tests for the benchmark applications and the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.apps import gauss_seidel, pw_advection
+from repro.harness import (
+    ALL_EXPERIMENTS,
+    figure2_single_core,
+    figure3_openmp_gauss_seidel,
+    figure4_openmp_pw_advection,
+    figure5_gpu,
+    figure6_distributed,
+    format_table,
+    fusion_ablation,
+    gpu_data_ablation,
+)
+
+
+class TestApps:
+    def test_gauss_seidel_problem_metadata(self):
+        problem = gauss_seidel.GaussSeidelProblem(n=64, niters=10)
+        assert problem.cells == 64**3
+        assert problem.interior_cells == 62**3
+        assert problem.flops_per_sweep == 62**3 * 6
+
+    def test_gauss_seidel_source_parametrised(self):
+        source = gauss_seidel.generate_source(123, niters=7, name="solve")
+        assert "n = 123" in source and "niters = 7" in source and "subroutine solve" in source
+
+    def test_jacobi_reference_reduces_residual(self):
+        u0 = gauss_seidel.initial_condition(12)
+        u1 = gauss_seidel.reference_jacobi(u0, 50)
+        assert gauss_seidel.residual(u1) < gauss_seidel.residual(u0)
+
+    def test_references_preserve_boundaries(self):
+        u0 = gauss_seidel.initial_condition(10)
+        u1 = gauss_seidel.reference_jacobi(u0, 3)
+        assert np.array_equal(u1[0], u0[0]) and np.array_equal(u1[-1], u0[-1])
+
+    def test_pw_reference_zero_for_uniform_wind(self):
+        n = 8
+        uniform = np.ones((n, n, n), order="F")
+        su, sv, sw = pw_advection.reference(uniform, uniform, uniform)
+        assert np.allclose(su, 0.0) and np.allclose(sv, 0.0) and np.allclose(sw, 0.0)
+
+    def test_pw_initial_fields_reproducible(self):
+        a = pw_advection.initial_fields(6, seed=1)
+        b = pw_advection.initial_fields(6, seed=1)
+        assert np.array_equal(a[0], b[0])
+
+    def test_flop_counts_match_paper(self):
+        assert gauss_seidel.FLOPS_PER_CELL == 6
+        assert pw_advection.FLOPS_PER_CELL == 63
+
+
+class TestHarness:
+    def test_figure2_rows_and_validation(self):
+        result = figure2_single_core(validate=True)
+        assert len(result.rows) == 2 * 4 * 3
+        for bench in ("gauss_seidel", "pw_advection"):
+            validation = result.notes[f"{bench}_validation"]
+            assert validation["max_error"] < 1e-12
+            assert validation["stencils"] >= 1
+
+    def test_figure3_and_4_thread_series(self):
+        for fig in (figure3_openmp_gauss_seidel(), figure4_openmp_pw_advection()):
+            threads = sorted({row[1] for row in fig.rows})
+            assert threads == [1, 2, 4, 8, 16, 32, 64, 128]
+            assert {row[2] for row in fig.rows} == {"cray", "flang", "stencil"}
+
+    def test_figure4_crossover_present_in_rows(self):
+        fig = figure4_openmp_pw_advection()
+        at_128 = {row[2]: row[3] for row in fig.rows if row[1] == 128}
+        assert at_128["stencil"] > at_128["cray"] > at_128["flang"]
+
+    def test_figure5_rows(self):
+        fig = figure5_gpu(validate=False)
+        assert len(fig.rows) == 2 * 3 * 3
+        strategies = {row[2] for row in fig.rows}
+        assert strategies == {"openacc_nvidia", "stencil_host_register", "stencil_optimised"}
+
+    def test_figure6_rows_and_shape(self):
+        fig = figure6_distributed(validate=False)
+        hand = [row[3] for row in fig.rows if row[2] == "hand_parallelised"]
+        auto = [row[3] for row in fig.rows if row[2] == "stencil_auto_parallelised"]
+        assert len(hand) == len(auto) == 7
+        assert all(h > a for h, a in zip(hand, auto))
+        assert hand == sorted(hand) and auto == sorted(auto)
+
+    def test_gpu_data_ablation_traffic(self):
+        result = gpu_data_ablation(n=8, niters=2)
+        by_strategy = {row[0]: row for row in result.rows}
+        assert by_strategy["host_register"][4] > 0            # on-demand traffic
+        assert by_strategy["optimised"][4] == 0
+        assert by_strategy["optimised"][2] < by_strategy["host_register"][2]
+
+    def test_fusion_ablation(self):
+        result = fusion_ablation(n=8)
+        by_variant = {row[0]: row for row in result.rows}
+        assert by_variant["fused"][1] == 1
+        assert by_variant["unfused"][1] == 3
+        assert by_variant["fused"][2] > by_variant["unfused"][2]
+
+    def test_format_table_renders_all_rows(self):
+        fig = figure3_openmp_gauss_seidel()
+        text = format_table(fig)
+        assert text.count("\n") >= len(fig.rows)
+        assert "figure3" in text
+
+    def test_experiment_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "figure2", "figure3", "figure4", "figure5", "figure6",
+            "gpu_data_ablation", "fusion_ablation",
+        }

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.apps import gauss_seidel, pw_advection
+
+
+@pytest.fixture
+def small_gs_source():
+    return gauss_seidel.generate_source(10, niters=2)
+
+
+@pytest.fixture
+def small_pw_source():
+    return pw_advection.generate_source(8)
+
+
+@pytest.fixture
+def listing1_source():
+    """The 2-D averaging example of the paper's Listing 1."""
+    return """
+subroutine average(data)
+  implicit none
+  integer, parameter :: n = 16
+  real(kind=8), intent(inout) :: data(n, n)
+  integer :: i, j
+  do i = 2, n - 1
+    do j = 2, n - 1
+      data(j, i) = (data(j, i-1) + data(j, i+1) + data(j-1, i) + data(j+1, i)) * 0.25
+    end do
+  end do
+end subroutine average
+"""
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

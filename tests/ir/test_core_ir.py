@@ -1,0 +1,211 @@
+"""Unit tests for SSA values, operations, blocks, regions, builder and traits."""
+
+import pytest
+
+from repro.dialects import arith, func, scf
+from repro.dialects.builtin import ModuleOp
+from repro.ir import (
+    Block,
+    Builder,
+    IRError,
+    InsertPoint,
+    Operation,
+    Region,
+    VerifyException,
+    f64,
+    index,
+)
+
+
+def make_add_function():
+    f = func.FuncOp.build("add", [f64, f64], [f64])
+    b = Builder.at_end(f.entry_block)
+    add = b.insert(arith.AddfOp(f.entry_block.args[0], f.entry_block.args[1]))
+    b.insert(func.ReturnOp([add.result]))
+    return f, add
+
+
+class TestUseDefChains:
+    def test_results_track_uses(self):
+        f, add = make_add_function()
+        arg0 = f.entry_block.args[0]
+        assert any(u.operation is add for u in arg0.uses)
+        assert len(add.result.uses) == 1
+
+    def test_replace_all_uses_with(self):
+        f, add = make_add_function()
+        b = Builder.at_start(f.entry_block)
+        c = b.insert(arith.ConstantOp.from_float(1.0))
+        add.result.replace_all_uses_with(c.result)
+        ret = f.entry_block.last_op
+        assert ret.operands[0] is c.result
+        assert not add.result.has_uses
+
+    def test_erase_with_uses_raises(self):
+        f, add = make_add_function()
+        with pytest.raises(IRError):
+            add.erase()
+
+    def test_erase_after_dropping_uses(self):
+        f, add = make_add_function()
+        ret = f.entry_block.last_op
+        ret.erase()
+        add.erase()
+        assert len(f.entry_block.ops) == 0
+
+    def test_set_operand_updates_uses(self):
+        f, add = make_add_function()
+        arg0, arg1 = f.entry_block.args
+        add.set_operand(0, arg1)
+        assert not any(u.operation is add for u in arg0.uses)
+        assert sum(1 for u in arg1.uses if u.operation is add) == 2
+
+
+class TestStructure:
+    def test_parent_links(self):
+        f, add = make_add_function()
+        assert add.parent_block() is f.entry_block
+        assert add.parent_op() is f
+        module = ModuleOp([f])
+        assert f.parent_op() is module
+        assert module.is_ancestor_of(add)
+
+    def test_walk_order(self):
+        f, add = make_add_function()
+        module = ModuleOp([f])
+        names = [op.name for op in module.walk()]
+        assert names == ["builtin.module", "func.func", "arith.addf", "func.return"]
+
+    def test_next_prev_op(self):
+        f, add = make_add_function()
+        ret = f.entry_block.last_op
+        assert add.next_op() is ret
+        assert ret.prev_op() is add
+        assert add.prev_op() is None
+
+    def test_block_insert_before_after(self):
+        block = Block()
+        a = arith.ConstantOp.from_float(1.0)
+        c = arith.ConstantOp.from_float(3.0)
+        block.add_op(a)
+        block.add_op(c)
+        b = arith.ConstantOp.from_float(2.0)
+        block.insert_op_after(b, a)
+        assert [op.literal for op in block.ops] == [1.0, 2.0, 3.0]
+
+    def test_cannot_attach_twice(self):
+        block = Block()
+        op = arith.ConstantOp.from_float(1.0)
+        block.add_op(op)
+        other = Block()
+        with pytest.raises(IRError):
+            other.add_op(op)
+
+    def test_module_symbol_lookup(self):
+        f, _ = make_add_function()
+        module = ModuleOp([f])
+        assert module.get_symbol("add") is f
+        assert module.get_symbol("missing") is None
+
+
+class TestClone:
+    def test_clone_is_deep_and_independent(self):
+        f, add = make_add_function()
+        clone = f.clone()
+        assert clone is not f
+        assert len(clone.entry_block.ops) == len(f.entry_block.ops)
+        clone.entry_block.ops[0].attributes["marker"] = arith.StringAttr("x") \
+            if hasattr(arith, "StringAttr") else None
+        # original remains unchanged structurally
+        assert len(f.entry_block.ops) == 2
+
+    def test_clone_remaps_internal_values(self):
+        f, add = make_add_function()
+        clone = f.clone()
+        cloned_add = clone.entry_block.ops[0]
+        cloned_ret = clone.entry_block.ops[1]
+        assert cloned_ret.operands[0] is cloned_add.results[0]
+        assert cloned_add.operands[0] is clone.entry_block.args[0]
+
+
+class TestVerification:
+    def test_valid_function_verifies(self):
+        f, _ = make_add_function()
+        ModuleOp([f]).verify()
+
+    def test_return_type_mismatch_detected(self):
+        f = func.FuncOp.build("bad", [f64], [f64])
+        b = Builder.at_end(f.entry_block)
+        b.insert(func.ReturnOp([]))
+        with pytest.raises(VerifyException):
+            f.verify()
+
+    def test_terminator_must_be_last(self):
+        f = func.FuncOp.build("bad2", [f64], [])
+        b = Builder.at_end(f.entry_block)
+        b.insert(func.ReturnOp([]))
+        b.insert(arith.ConstantOp.from_float(1.0))
+        with pytest.raises(VerifyException):
+            f.verify()
+
+    def test_binary_op_type_mismatch(self):
+        block = Block(arg_types=[f64, index])
+        with pytest.raises(VerifyException):
+            arith.AddfOp(block.args[0], block.args[1]).verify()
+
+    def test_isolated_from_above(self):
+        outer = func.FuncOp.build("outer", [f64], [])
+        inner = func.FuncOp.build("inner", [], [])
+        bi = Builder.at_end(inner.entry_block)
+        # Illegally reference the outer function's argument.
+        bi.insert(arith.NegfOp(outer.entry_block.args[0]))
+        bi.insert(func.ReturnOp([]))
+        with pytest.raises(VerifyException):
+            inner.verify()
+
+
+class TestBuilder:
+    def test_insertion_points(self):
+        block = Block()
+        builder = Builder.at_end(block)
+        first = builder.insert(arith.ConstantOp.from_int(1, index))
+        builder.set_insertion_point_before(first)
+        zero = builder.insert(arith.ConstantOp.from_int(0, index))
+        assert block.ops[0] is zero
+
+    def test_guarded_restores_position(self):
+        block_a = Block()
+        block_b = Block()
+        builder = Builder.at_end(block_a)
+        with builder.guarded():
+            builder.set_insertion_point_to_end(block_b)
+            builder.insert(arith.ConstantOp.from_int(1, index))
+        builder.insert(arith.ConstantOp.from_int(2, index))
+        assert len(block_a.ops) == 1 and len(block_b.ops) == 1
+
+    def test_builder_without_point_raises(self):
+        with pytest.raises(IRError):
+            Builder(None).insert(arith.ConstantOp.from_int(1, index))
+
+
+class TestScfStructure:
+    def test_for_loop_structure(self):
+        b = Builder.at_end(Block())
+        lb = b.insert(arith.ConstantOp.from_int(0, index))
+        ub = b.insert(arith.ConstantOp.from_int(10, index))
+        st = b.insert(arith.ConstantOp.from_int(1, index))
+        loop = scf.ForOp(lb.result, ub.result, st.result)
+        assert loop.induction_variable.type == index
+        loop.body.block.add_op(scf.YieldOp([]))
+        loop.verify()
+
+    def test_parallel_rank(self):
+        b = Builder.at_end(Block())
+        c0 = b.insert(arith.ConstantOp.from_int(0, index)).result
+        c4 = b.insert(arith.ConstantOp.from_int(4, index)).result
+        c1 = b.insert(arith.ConstantOp.from_int(1, index)).result
+        par = scf.ParallelOp([c0, c0], [c4, c4], [c1, c1])
+        assert par.rank == 2
+        assert len(par.induction_variables) == 2
+        par.body.block.add_op(scf.YieldOp([]))
+        par.verify()

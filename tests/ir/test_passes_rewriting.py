@@ -1,0 +1,160 @@
+"""Pass manager, pipeline parsing, rewriting and cleanup pass tests."""
+
+import pytest
+
+from repro.dialects import arith, func
+from repro.dialects.builtin import ModuleOp
+from repro.ir import (
+    Builder,
+    ModulePass,
+    PassManager,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns,
+    f64,
+    index,
+    parse_pipeline,
+)
+from repro.ir.pass_manager import GLOBAL_PASS_REGISTRY
+from repro.transforms import CanonicalizePass, CSEPass, DeadCodeEliminationPass
+from repro.ir import default_context
+
+
+def build_module_with_redundancy():
+    f = func.FuncOp.build("f", [f64], [f64])
+    b = Builder.at_end(f.entry_block)
+    c1 = b.insert(arith.ConstantOp.from_float(2.0))
+    c2 = b.insert(arith.ConstantOp.from_float(2.0))  # duplicate
+    dead = b.insert(arith.ConstantOp.from_float(99.0))  # unused
+    m1 = b.insert(arith.MulfOp(f.entry_block.args[0], c1.result))
+    m2 = b.insert(arith.MulfOp(f.entry_block.args[0], c2.result))
+    s = b.insert(arith.AddfOp(m1.result, m2.result))
+    b.insert(func.ReturnOp([s.result]))
+    return ModuleOp([f])
+
+
+class TestPipelineParsing:
+    def test_simple_list(self):
+        assert parse_pipeline("a,b,c") == [("a", {}), ("b", {}), ("c", {})]
+
+    def test_options(self):
+        parsed = parse_pipeline("tile{sizes=32,32,1 flag=true name=foo}")
+        assert parsed == [("tile", {"sizes": (32, 32, 1), "flag": True, "name": "foo"})]
+
+    def test_paper_listing4_style_options(self):
+        parsed = parse_pipeline(
+            "scf-parallel-loop-tiling{parallel-loop-tile-sizes=32,32,1},canonicalize"
+        )
+        assert parsed[0][1]["parallel_loop_tile_sizes"] == (32, 32, 1)
+        assert parsed[1][0] == "canonicalize"
+
+    def test_unbalanced_braces_rejected(self):
+        with pytest.raises(ValueError):
+            parse_pipeline("a{b=1")
+
+    def test_registry_contains_paper_passes(self):
+        for name in (
+            "discover-stencils", "extract-stencils", "convert-stencil-to-scf",
+            "convert-scf-to-openmp", "convert-parallel-loops-to-gpu",
+            "scf-parallel-loop-tiling", "convert-stencil-to-dmp", "convert-dmp-to-mpi",
+            "canonicalize", "cse", "dce",
+        ):
+            assert name in GLOBAL_PASS_REGISTRY, name
+
+
+class TestCleanupPasses:
+    def test_dce_removes_unused(self):
+        module = build_module_with_redundancy()
+        before = sum(1 for _ in module.walk())
+        DeadCodeEliminationPass().apply(default_context(), module)
+        after = sum(1 for _ in module.walk())
+        assert after == before - 1  # the unused constant disappears
+        module.verify()
+
+    def test_cse_merges_duplicates(self):
+        module = build_module_with_redundancy()
+        CSEPass().apply(default_context(), module)
+        constants = [op for op in module.walk() if isinstance(op, arith.ConstantOp)]
+        values = sorted(c.literal for c in constants)
+        assert values == [2.0]  # duplicate and dead constants are gone
+        muls = [op for op in module.walk() if isinstance(op, arith.MulfOp)]
+        assert len(muls) == 1
+        module.verify()
+
+    def test_canonicalize_folds_constants(self):
+        f = func.FuncOp.build("g", [], [index])
+        b = Builder.at_end(f.entry_block)
+        c2 = b.insert(arith.ConstantOp.from_int(2, index))
+        c3 = b.insert(arith.ConstantOp.from_int(3, index))
+        s = b.insert(arith.AddiOp(c2.result, c3.result))
+        b.insert(func.ReturnOp([s.result]))
+        module = ModuleOp([f])
+        CanonicalizePass().apply(default_context(), module)
+        constants = [op.literal for op in module.walk() if isinstance(op, arith.ConstantOp)]
+        assert 5 in constants
+        assert not any(isinstance(op, arith.AddiOp) for op in module.walk())
+
+    def test_canonicalize_idempotent(self):
+        module = build_module_with_redundancy()
+        ctx = default_context()
+        CanonicalizePass().apply(ctx, module)
+        text1 = sum(1 for _ in module.walk())
+        CanonicalizePass().apply(ctx, module)
+        assert sum(1 for _ in module.walk()) == text1
+
+
+class TestPassManager:
+    def test_run_pipeline_collects_statistics(self):
+        module = build_module_with_redundancy()
+        pm = PassManager()
+        pm.add_pipeline("canonicalize,cse,dce")
+        stats = pm.run(module)
+        assert [s.name for s in stats] == ["canonicalize", "cse", "dce"]
+        assert all(s.seconds >= 0 for s in stats)
+
+    def test_unknown_pass_rejected(self):
+        pm = PassManager()
+        with pytest.raises(KeyError):
+            pm.add("definitely-not-a-pass")
+
+    def test_custom_pass_instance(self):
+        class CountOps(ModulePass):
+            name = "count-ops"
+
+            def __init__(self):
+                self.count = 0
+
+            def apply(self, ctx, module):
+                self.count = sum(1 for _ in module.walk())
+
+        module = build_module_with_redundancy()
+        counter = CountOps()
+        PassManager().add(counter).run(module)
+        assert counter.count > 0
+
+
+class TestPatternRewriting:
+    def test_pattern_replaces_op(self):
+        class FoldMulByTwo(RewritePattern):
+            op_name = "arith.mulf"
+
+            def match_and_rewrite(self, op, rewriter):
+                rhs = op.operands[1]
+                defining = getattr(rhs, "op", None)
+                if isinstance(defining, arith.ConstantOp) and defining.literal == 2.0:
+                    double = arith.AddfOp(op.operands[0], op.operands[0])
+                    rewriter.replace_op(op, [double])
+
+        module = build_module_with_redundancy()
+        result = apply_patterns(module, [FoldMulByTwo()])
+        assert result.converged
+        assert result.rewrites >= 2
+        assert not any(isinstance(op, arith.MulfOp) for op in module.walk())
+        module.verify()
+
+    def test_rewriter_insert_before_counts_as_action(self):
+        module = build_module_with_redundancy()
+        target = next(op for op in module.walk() if isinstance(op, arith.AddfOp))
+        rewriter = PatternRewriter(target)
+        rewriter.insert_op_before(arith.ConstantOp.from_float(0.0))
+        assert rewriter.has_done_action

@@ -1,0 +1,160 @@
+"""Printer/parser round-trip tests, including property-based ones."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dialects import arith, func, math_dialect, memref, scf
+from repro.dialects.builtin import ModuleOp
+from repro.frontend import compile_to_fir
+from repro.ir import (
+    Builder,
+    FloatAttr,
+    IntegerAttr,
+    MemRefType,
+    ParseError,
+    f64,
+    i32,
+    index,
+    parse_module,
+    print_module,
+)
+
+
+def roundtrip(module):
+    text = print_module(module)
+    reparsed = parse_module(text)
+    reparsed.verify()
+    assert print_module(reparsed) == text
+    return reparsed
+
+
+class TestBasicRoundTrip:
+    def test_empty_module(self):
+        roundtrip(ModuleOp([]))
+
+    def test_simple_function(self):
+        f = func.FuncOp.build("axpy", [f64, f64], [f64])
+        b = Builder.at_end(f.entry_block)
+        c = b.insert(arith.ConstantOp.from_float(2.0))
+        m = b.insert(arith.MulfOp(c.result, f.entry_block.args[0]))
+        a = b.insert(arith.AddfOp(m.result, f.entry_block.args[1]))
+        b.insert(func.ReturnOp([a.result]))
+        roundtrip(ModuleOp([f]))
+
+    def test_nested_loops_and_memref(self):
+        f = func.FuncOp.build("fill", [MemRefType([8, 8], f64)], [])
+        b = Builder.at_end(f.entry_block)
+        zero = b.insert(arith.ConstantOp.from_int(0, index)).result
+        eight = b.insert(arith.ConstantOp.from_int(8, index)).result
+        one = b.insert(arith.ConstantOp.from_int(1, index)).result
+        val = b.insert(arith.ConstantOp.from_float(3.5)).result
+        loop = b.insert(scf.ForOp(zero, eight, one))
+        lb = Builder.at_end(loop.body.block)
+        lb.insert(memref.StoreOp(val, f.entry_block.args[0],
+                                 [loop.induction_variable, loop.induction_variable]))
+        lb.insert(scf.YieldOp([]))
+        b.insert(func.ReturnOp([]))
+        roundtrip(ModuleOp([f]))
+
+    def test_fir_module_roundtrip(self, listing1_source=None):
+        source = """
+subroutine axb(a)
+  implicit none
+  real(kind=8), intent(inout) :: a(8)
+  integer :: i
+  do i = 1, 8
+    a(i) = sqrt(a(i)) * 2.0
+  end do
+end subroutine axb
+"""
+        roundtrip(compile_to_fir(source))
+
+    def test_math_ops_roundtrip(self):
+        f = func.FuncOp.build("m", [f64], [f64])
+        b = Builder.at_end(f.entry_block)
+        s = b.insert(math_dialect.SqrtOp(f.entry_block.args[0]))
+        e = b.insert(math_dialect.ExpOp(s.result))
+        b.insert(func.ReturnOp([e.result]))
+        roundtrip(ModuleOp([f]))
+
+    def test_unregistered_op_preserved(self):
+        text = '"builtin.module"() ({\n^bb0():\n  "mydialect.op"() {"x" = 1 : i64} : () -> ()\n}) : () -> ()\n'
+        module = parse_module(text)
+        assert any(op.name == "mydialect.op" for op in module.walk())
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            '"builtin.module"() ({',  # truncated
+            '%0 = "arith.constant"() : () -> (f64) extra',  # trailing tokens
+            '"builtin.module"(%undefined) : (f64) -> ()',  # undefined value
+            '"builtin.module"() : (f64) -> ()',  # operand count mismatch
+        ],
+    )
+    def test_malformed_input_raises(self, bad):
+        with pytest.raises(ParseError):
+            parse_module(bad)
+
+    def test_type_mismatch_detected(self):
+        text = (
+            '"builtin.module"() ({\n^bb0():\n'
+            '  %0 = "arith.constant"() {"value" = 1.0 : f64} : () -> (f64)\n'
+            '  %1 = "arith.negf"(%0) : (i32) -> (i32)\n'
+            "}) : () -> ()\n"
+        )
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+
+@st.composite
+def arith_expressions(draw):
+    """Random arithmetic expression DAGs as (module, depth)."""
+    f = func.FuncOp.build("expr", [f64, f64], [f64])
+    b = Builder.at_end(f.entry_block)
+    values = [f.entry_block.args[0], f.entry_block.args[1]]
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n_ops):
+        choice = draw(st.integers(min_value=0, max_value=4))
+        if choice == 0:
+            value = draw(st.floats(min_value=-1e3, max_value=1e3,
+                                   allow_nan=False, allow_infinity=False))
+            values.append(b.insert(arith.ConstantOp.from_float(value)).result)
+        else:
+            lhs = values[draw(st.integers(0, len(values) - 1))]
+            rhs = values[draw(st.integers(0, len(values) - 1))]
+            cls = [arith.AddfOp, arith.SubfOp, arith.MulfOp, arith.DivfOp][choice - 1]
+            values.append(b.insert(cls(lhs, rhs)).result)
+    b.insert(func.ReturnOp([values[-1]]))
+    return ModuleOp([f])
+
+
+class TestPropertyRoundTrip:
+    @given(arith_expressions())
+    @settings(max_examples=40, deadline=None)
+    def test_random_expression_roundtrip(self, module):
+        module.verify()
+        roundtrip(module)
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_dense_array_attr_roundtrip(self, values):
+        from repro.ir import DenseArrayAttr
+        from repro.ir.parser import IRParser
+
+        attr = DenseArrayAttr(values)
+        parsed = IRParser(attr.print()).parse_attribute()
+        assert parsed == attr
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=64),
+           st.integers(min_value=-2**31, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_attr_roundtrip(self, fval, ival):
+        from repro.ir.parser import IRParser
+
+        f_attr = FloatAttr(fval, f64)
+        i_attr = IntegerAttr(ival, i32)
+        assert IRParser(f_attr.print()).parse_attribute() == f_attr
+        assert IRParser(i_attr.print()).parse_attribute() == i_attr

@@ -1,0 +1,265 @@
+"""Tests for the runtime substrates: memory, interpreter, GPU, cost models."""
+
+import numpy as np
+import pytest
+
+from repro.dialects import arith, func, memref, scf
+from repro.dialects.builtin import ModuleOp
+from repro.ir import Builder, MemRefType, f64, index
+from repro.runtime import (
+    ElementRef,
+    Interpreter,
+    InterpreterError,
+    MemoryBuffer,
+    SimulatedGPU,
+)
+from repro.runtime.cost_model import (
+    CPUCostModel,
+    CRAY_PROFILE,
+    DistributedCostModel,
+    FLANG_PROFILE,
+    GAUSS_SEIDEL_KERNEL,
+    GPU_STRATEGIES,
+    GPUCostModel,
+    PW_ADVECTION_KERNEL,
+    STENCIL_PROFILE,
+    STRATEGY_HOST_REGISTER,
+    STRATEGY_OPENACC_UNIFIED,
+    STRATEGY_OPTIMISED,
+)
+
+
+class TestMemoryModel:
+    def test_scalar_cell(self):
+        cell = MemoryBuffer.for_scalar(f64, 3.0)
+        assert cell.load() == 3.0
+        cell.store(4.5)
+        assert cell.load() == 4.5
+
+    def test_array_buffer_and_element_ref(self):
+        buf = MemoryBuffer.for_array((3, 4), f64)
+        ref = ElementRef(buf, (1, 2))
+        ref.store(7.0)
+        assert buf.data[1, 2] == 7.0
+        assert ref.load() == 7.0
+
+    def test_wrap_shares_memory(self):
+        arr = np.zeros((2, 2), order="F")
+        buf = MemoryBuffer.wrap(arr)
+        buf.data[0, 0] = 1.0
+        assert arr[0, 0] == 1.0
+
+    def test_fortran_order_allocation(self):
+        buf = MemoryBuffer.for_array((4, 5), f64)
+        assert buf.data.flags["F_CONTIGUOUS"]
+
+    def test_scalar_buffer_rejects_indexed_access(self):
+        with pytest.raises(TypeError):
+            MemoryBuffer.for_array((2,), f64).load()
+
+
+class TestInterpreterCore:
+    def _make_saxpy(self):
+        f = func.FuncOp.build("saxpy", [f64, f64], [f64])
+        b = Builder.at_end(f.entry_block)
+        c = b.insert(arith.ConstantOp.from_float(2.0))
+        m = b.insert(arith.MulfOp(c.result, f.entry_block.args[0]))
+        a = b.insert(arith.AddfOp(m.result, f.entry_block.args[1]))
+        b.insert(func.ReturnOp([a.result]))
+        return ModuleOp([f])
+
+    def test_function_call_returns_values(self):
+        interp = Interpreter(self._make_saxpy())
+        func_op = interp.lookup("saxpy")
+        (result,) = interp.call_function(func_op, [np.float64(3.0), np.float64(1.0)])
+        assert result == 7.0
+
+    def test_unknown_function(self):
+        interp = Interpreter(self._make_saxpy())
+        with pytest.raises(InterpreterError):
+            interp.lookup("nope")
+
+    def test_unknown_operation_rejected(self):
+        from repro.ir import Operation
+
+        f = func.FuncOp.build("f", [], [])
+        bad = Operation()
+        bad.name = "strange.op"
+        f.entry_block.add_op(bad)
+        f.entry_block.add_op(func.ReturnOp([]))
+        interp = Interpreter(ModuleOp([f]))
+        with pytest.raises(InterpreterError):
+            interp.call("f")
+
+    def test_scf_for_with_iter_args(self):
+        # sum of 0..9 using loop-carried values
+        f = func.FuncOp.build("sum10", [], [index])
+        b = Builder.at_end(f.entry_block)
+        zero = b.insert(arith.ConstantOp.from_int(0, index)).result
+        ten = b.insert(arith.ConstantOp.from_int(10, index)).result
+        one = b.insert(arith.ConstantOp.from_int(1, index)).result
+        loop = b.insert(scf.ForOp(zero, ten, one, iter_args=[zero]))
+        lb = Builder.at_end(loop.body.block)
+        acc = loop.body.block.args[1]
+        new = lb.insert(arith.AddiOp(acc, loop.induction_variable))
+        lb.insert(scf.YieldOp([new.result]))
+        b.insert(func.ReturnOp([loop.results[0]]))
+        (total,) = Interpreter(ModuleOp([f])).call("sum10")
+        assert int(total) == 45
+
+    def test_scf_parallel_touches_all_points(self):
+        f = func.FuncOp.build("fill", [MemRefType([4, 4], f64)], [])
+        b = Builder.at_end(f.entry_block)
+        zero = b.insert(arith.ConstantOp.from_int(0, index)).result
+        four = b.insert(arith.ConstantOp.from_int(4, index)).result
+        one = b.insert(arith.ConstantOp.from_int(1, index)).result
+        val = b.insert(arith.ConstantOp.from_float(1.0)).result
+        par = b.insert(scf.ParallelOp([zero, zero], [four, four], [one, one]))
+        pb = Builder.at_end(par.body.block)
+        pb.insert(memref.StoreOp(val, f.entry_block.args[0], list(par.body.block.args)))
+        pb.insert(scf.YieldOp([]))
+        b.insert(func.ReturnOp([]))
+        data = np.zeros((4, 4), order="F")
+        interp = Interpreter(ModuleOp([f]))
+        interp.call("fill", data)
+        assert np.all(data == 1.0)
+        assert interp.stats["parallel_regions"] == 1
+
+    @pytest.mark.parametrize("op_cls,a,b,expected", [
+        (arith.AddfOp, 1.5, 2.0, 3.5),
+        (arith.SubfOp, 1.5, 2.0, -0.5),
+        (arith.MulfOp, 1.5, 2.0, 3.0),
+        (arith.DivfOp, 3.0, 2.0, 1.5),
+        (arith.MaximumfOp, 3.0, 2.0, 3.0),
+        (arith.MinimumfOp, 3.0, 2.0, 2.0),
+    ])
+    def test_float_binary_semantics(self, op_cls, a, b, expected):
+        f = func.FuncOp.build("binop", [f64, f64], [f64])
+        bd = Builder.at_end(f.entry_block)
+        r = bd.insert(op_cls(f.entry_block.args[0], f.entry_block.args[1]))
+        bd.insert(func.ReturnOp([r.result]))
+        interp = Interpreter(ModuleOp([f]))
+        (out,) = interp.call_function(interp.lookup("binop"),
+                                      [np.float64(a), np.float64(b)])
+        assert np.isclose(out, expected)
+
+
+class TestSimulatedGPU:
+    def test_alloc_and_oom(self):
+        gpu = SimulatedGPU(memory_bytes=1024)
+        gpu.alloc((8,), f64)
+        with pytest.raises(MemoryError):
+            gpu.alloc((200,), f64)
+
+    def test_memcpy_direction_accounting(self):
+        gpu = SimulatedGPU()
+        host = MemoryBuffer.for_array((16,), f64, space="host")
+        host.data[:] = 3.0
+        device = gpu.alloc((16,), f64)
+        gpu.memcpy(device, host)
+        assert np.all(device.data == 3.0)
+        assert gpu.transferred_bytes("h2d") == 128
+        gpu.memcpy(host, device)
+        assert gpu.transferred_bytes("d2h") == 128
+
+    def test_launch_on_host_buffer_records_on_demand_traffic(self):
+        gpu = SimulatedGPU()
+        host = MemoryBuffer.for_array((32,), f64, space="host")
+        gpu.record_launch("k", (1, 1, 1), (32, 1, 1), [host])
+        assert gpu.transferred_bytes(reason="on_demand") == 2 * 256
+
+    def test_launch_on_device_buffer_is_free_of_pcie(self):
+        gpu = SimulatedGPU()
+        device = gpu.alloc((32,), f64)
+        gpu.record_launch("k", (1, 1, 1), (32, 1, 1), [device])
+        assert gpu.transferred_bytes(reason="on_demand") == 0
+
+
+class TestCostModels:
+    """The performance model must reproduce the *shape* of every figure."""
+
+    cpu = CPUCostModel()
+    gpu = GPUCostModel()
+    dist = DistributedCostModel()
+
+    def test_figure2_single_core_ordering(self):
+        for kernel in (GAUSS_SEIDEL_KERNEL, PW_ADVECTION_KERNEL):
+            flang = self.cpu.throughput_mcells(kernel, FLANG_PROFILE, 256**3, 1)
+            sten = self.cpu.throughput_mcells(kernel, STENCIL_PROFILE, 256**3, 1)
+            cray = self.cpu.throughput_mcells(kernel, CRAY_PROFILE, 256**3, 1)
+            assert flang < sten < cray
+
+    def test_figure2_speedup_magnitudes(self):
+        gs_ratio = (
+            self.cpu.throughput_mcells(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE, 256**3, 1)
+            / self.cpu.throughput_mcells(GAUSS_SEIDEL_KERNEL, FLANG_PROFILE, 256**3, 1)
+        )
+        pw_ratio = (
+            self.cpu.throughput_mcells(PW_ADVECTION_KERNEL, STENCIL_PROFILE, 256**3, 1)
+            / self.cpu.throughput_mcells(PW_ADVECTION_KERNEL, FLANG_PROFILE, 256**3, 1)
+        )
+        # Paper: ~2x for Gauss-Seidel, ~10x for PW advection.
+        assert 2.0 <= gs_ratio <= 4.0
+        assert 7.0 <= pw_ratio <= 12.0
+        assert pw_ratio > gs_ratio
+
+    def test_figure3_gs_cray_stays_ahead(self):
+        cells = 2.1e9
+        for threads in (1, 8, 64, 128):
+            cray = self.cpu.throughput_mcells(GAUSS_SEIDEL_KERNEL, CRAY_PROFILE, cells, threads)
+            sten = self.cpu.throughput_mcells(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE, cells, threads)
+            flang = self.cpu.throughput_mcells(GAUSS_SEIDEL_KERNEL, FLANG_PROFILE, cells, threads)
+            assert cray > sten > flang
+
+    def test_figure4_pw_crossover_at_high_threads(self):
+        cells = 2.1e9
+        low_cray = self.cpu.throughput_mcells(PW_ADVECTION_KERNEL, CRAY_PROFILE, cells, 4)
+        low_sten = self.cpu.throughput_mcells(PW_ADVECTION_KERNEL, STENCIL_PROFILE, cells, 4)
+        assert low_cray > low_sten
+        for threads in (64, 128):
+            cray = self.cpu.throughput_mcells(PW_ADVECTION_KERNEL, CRAY_PROFILE, cells, threads)
+            sten = self.cpu.throughput_mcells(PW_ADVECTION_KERNEL, STENCIL_PROFILE, cells, threads)
+            assert sten > cray
+
+    def test_scaling_monotonic_in_threads(self):
+        cells = 2.1e9
+        previous = 0.0
+        for threads in (1, 2, 4, 8, 16, 32, 64, 128):
+            value = self.cpu.throughput_mcells(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE, cells, threads)
+            assert value >= previous * 0.99
+            previous = value
+
+    def test_figure5_gpu_strategy_ordering(self):
+        for kernel in (GAUSS_SEIDEL_KERNEL, PW_ADVECTION_KERNEL):
+            host_reg = self.gpu.throughput_mcells(kernel, STRATEGY_HOST_REGISTER, 134e6)
+            openacc = self.gpu.throughput_mcells(kernel, STRATEGY_OPENACC_UNIFIED, 134e6)
+            optimised = self.gpu.throughput_mcells(kernel, STRATEGY_OPTIMISED, 134e6)
+            assert host_reg < openacc < optimised
+
+    def test_figure5_pw_advantage_larger_than_gs(self):
+        gs_gain = (
+            self.gpu.throughput_mcells(GAUSS_SEIDEL_KERNEL, STRATEGY_OPTIMISED, 134e6)
+            / self.gpu.throughput_mcells(GAUSS_SEIDEL_KERNEL, STRATEGY_OPENACC_UNIFIED, 134e6)
+        )
+        pw_gain = (
+            self.gpu.throughput_mcells(PW_ADVECTION_KERNEL, STRATEGY_OPTIMISED, 134e6)
+            / self.gpu.throughput_mcells(PW_ADVECTION_KERNEL, STRATEGY_OPENACC_UNIFIED, 134e6)
+        )
+        assert pw_gain > 3 * gs_gain
+        assert gs_gain < 2.5  # comparable for Gauss-Seidel
+
+    def test_figure6_hand_beats_auto_but_both_scale(self):
+        previous_hand = previous_auto = 0.0
+        for nodes in (1, 4, 16, 64):
+            ranks = nodes * 128
+            hand = self.dist.throughput_mcells(GAUSS_SEIDEL_KERNEL, CRAY_PROFILE, 17e9, ranks)
+            auto = self.dist.throughput_mcells(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE, 17e9,
+                                               ranks, comm_efficiency=0.35)
+            assert hand > auto
+            assert hand > previous_hand and auto > previous_auto
+            previous_hand, previous_auto = hand, auto
+
+    def test_gpu_strategies_registry(self):
+        assert set(GPU_STRATEGIES) == {
+            "stencil_host_register", "stencil_optimised", "openacc_nvidia"
+        }

@@ -1,0 +1,230 @@
+"""Tests for the stencil discovery pass (paper Listing 3) and fusion."""
+
+import numpy as np
+import pytest
+
+from repro.apps import gauss_seidel, pw_advection
+from repro.dialects import fir, stencil
+from repro.dialects.func import FuncOp
+from repro.frontend import compile_to_fir
+from repro.ir import default_context
+from repro.runtime import Interpreter
+from repro.transforms import StencilDiscoveryPass, merge_adjacent_applies
+from repro.transforms.stencil_discovery import (
+    gather_program_loops,
+    get_array_read_data_ops,
+    is_indexed_by_loops,
+)
+
+
+def discover(source, merge=True):
+    module = compile_to_fir(source)
+    discovery = StencilDiscoveryPass(merge=merge)
+    discovery.apply(default_context(), module)
+    module.verify()
+    return module, discovery
+
+
+class TestListing2Example:
+    """The paper's Listing 1 -> Listing 2 transformation."""
+
+    def test_structure_matches_listing2(self, listing1_source):
+        module, discovery = discover(listing1_source)
+        assert discovery.discovered == {"average": 1}
+        applies = [op for op in module.walk() if isinstance(op, stencil.ApplyOp)]
+        assert len(applies) == 1
+        apply_op = applies[0]
+        accesses = [op for op in apply_op.walk() if isinstance(op, stencil.AccessOp)]
+        offsets = sorted(a.offset for a in accesses)
+        assert offsets == [(-1, 0), (0, -1), (0, 1), (1, 0)]
+        # 3 adds and one multiply by 0.25, exactly as in Listing 2
+        assert sum(1 for op in apply_op.walk() if op.name == "arith.addf") == 3
+        assert sum(1 for op in apply_op.walk() if op.name == "arith.mulf") == 1
+
+    def test_bounds_derived_from_loops(self, listing1_source):
+        module, _ = discover(listing1_source)
+        apply_op = next(op for op in module.walk() if isinstance(op, stencil.ApplyOp))
+        assert apply_op.lb == (1, 1)
+        assert apply_op.ub == (15, 15)
+
+    def test_original_loops_removed(self, listing1_source):
+        module, _ = discover(listing1_source)
+        assert not any(isinstance(op, fir.DoLoopOp) for op in module.walk())
+
+    def test_field_covers_whole_array(self, listing1_source):
+        module, _ = discover(listing1_source)
+        load = next(op for op in module.walk() if isinstance(op, stencil.ExternalLoadOp))
+        assert load.results[0].type.bounds == ((0, 16), (0, 16))
+
+
+class TestAnalysisHelpers:
+    def test_gather_program_loops(self, small_gs_source):
+        module = compile_to_fir(small_gs_source)
+        func_op = next(op for op in module.walk() if isinstance(op, FuncOp))
+        loops = gather_program_loops(func_op)
+        assert len(loops) == 4  # it, k, j, i
+        assert all(l.var_ref is not None for l in loops)
+        spatial = [l for l in loops if l.lower == 2]
+        assert len(spatial) == 3 and all(l.upper == 9 for l in spatial)
+
+    def test_is_indexed_by_loops(self, small_gs_source):
+        module = compile_to_fir(small_gs_source)
+        func_op = next(op for op in module.walk() if isinstance(op, FuncOp))
+        loops = gather_program_loops(func_op)
+        array_stores = [
+            op for op in func_op.walk()
+            if isinstance(op, fir.StoreOp)
+            and isinstance(op.memref.owner(), fir.CoordinateOfOp)
+        ]
+        assert len(array_stores) == 1
+        assert is_indexed_by_loops(array_stores[0], loops)
+        scalar_stores = [
+            op for op in func_op.walk()
+            if isinstance(op, fir.StoreOp)
+            and not isinstance(op.memref.owner(), fir.CoordinateOfOp)
+        ]
+        assert all(not is_indexed_by_loops(s, loops) for s in scalar_stores)
+
+    def test_get_array_read_data_ops(self, small_gs_source):
+        module = compile_to_fir(small_gs_source)
+        func_op = next(op for op in module.walk() if isinstance(op, FuncOp))
+        store = next(
+            op for op in func_op.walk()
+            if isinstance(op, fir.StoreOp)
+            and isinstance(op.memref.owner(), fir.CoordinateOfOp)
+        )
+        assert len(get_array_read_data_ops(store)) == 6  # 7-point stencil reads
+
+
+class TestGaussSeidelDiscovery:
+    def test_seven_point_stencil(self, small_gs_source):
+        module, discovery = discover(small_gs_source)
+        assert discovery.discovered == {"gauss_seidel": 1}
+        apply_op = next(op for op in module.walk() if isinstance(op, stencil.ApplyOp))
+        accesses = [op for op in apply_op.walk() if isinstance(op, stencil.AccessOp)]
+        assert len(accesses) == 6
+        assert all(sum(abs(o) for o in a.offset) == 1 for a in accesses)
+
+    def test_iteration_loop_preserved(self, small_gs_source):
+        module, _ = discover(small_gs_source)
+        loops = [op for op in module.walk() if isinstance(op, fir.DoLoopOp)]
+        assert len(loops) == 1  # the outer 'it' loop survives
+        assert any(isinstance(op, stencil.ApplyOp) for op in loops[0].walk())
+
+
+class TestPWAdvectionDiscoveryAndFusion:
+    def test_three_stencils_discovered(self, small_pw_source):
+        _, discovery = discover(small_pw_source, merge=False)
+        assert discovery.discovered == {"pw_advection": 3}
+
+    def test_fusion_merges_into_single_apply(self, small_pw_source):
+        module, _ = discover(small_pw_source, merge=True)
+        applies = [op for op in module.walk() if isinstance(op, stencil.ApplyOp)]
+        assert len(applies) == 1
+        assert len(applies[0].results) == 3
+
+    def test_fusion_deduplicates_inputs(self, small_pw_source):
+        module, _ = discover(small_pw_source, merge=True)
+        apply_op = next(op for op in module.walk() if isinstance(op, stencil.ApplyOp))
+        # u, v, w appear once each even though all three components read them
+        assert len(apply_op.operands) == 3
+
+    def test_unfused_module_has_three_applies(self, small_pw_source):
+        module, _ = discover(small_pw_source, merge=False)
+        applies = [op for op in module.walk() if isinstance(op, stencil.ApplyOp)]
+        assert len(applies) == 3
+        fused = merge_adjacent_applies(
+            next(op for op in module.walk() if isinstance(op, FuncOp))
+        )
+        assert fused == 2  # two merge steps collapse three applies into one
+
+
+class TestDiscoveryRejections:
+    """Loops that are *not* stencils must be left untouched."""
+
+    @pytest.mark.parametrize("body,reason", [
+        ("a(i) = a(idx(i)) * 2.0", "indirect indexing"),
+        ("a(i) = a(2*i) + 1.0", "non-unit-stride access"),
+        ("s = s + a(i)", "scalar reduction"),
+    ])
+    def test_non_stencil_loops_untouched(self, body, reason):
+        src = f"""
+subroutine not_a_stencil(a, idx, s)
+  implicit none
+  integer, parameter :: n = 8
+  real(kind=8), intent(inout) :: a(n)
+  integer, intent(in) :: idx(n)
+  real(kind=8), intent(inout) :: s
+  integer :: i
+  do i = 1, 4
+    {body}
+  end do
+end subroutine not_a_stencil
+"""
+        module, discovery = discover(src)
+        assert discovery.discovered == {}
+        assert any(isinstance(op, fir.DoLoopOp) for op in module.walk())
+
+    def test_dynamic_bounds_rejected(self):
+        src = """
+subroutine dyn(a, m)
+  implicit none
+  integer, parameter :: n = 8
+  real(kind=8), intent(inout) :: a(n)
+  integer, intent(in) :: m
+  integer :: i
+  do i = 2, m
+    a(i) = a(i-1) * 0.5
+  end do
+end subroutine dyn
+"""
+        _, discovery = discover(src)
+        assert discovery.discovered == {}
+
+
+class TestDiscoveryPreservesSemantics:
+    def test_differential_execution_gauss_seidel(self):
+        n, iters = 9, 2
+        source = gauss_seidel.generate_source(n, iters)
+        plain = compile_to_fir(source)
+        transformed, _ = discover(source)
+        a_ref = gauss_seidel.initial_condition(n)
+        a_jacobi = a_ref.copy(order="F")
+        Interpreter(transformed).call("gauss_seidel", a_jacobi)
+        expected = gauss_seidel.reference_jacobi(a_ref, iters)
+        assert np.allclose(a_jacobi, expected)
+
+    def test_differential_execution_pw(self):
+        n = 8
+        source = pw_advection.generate_source(n)
+        transformed, _ = discover(source)
+        u, v, w, su, sv, sw = pw_advection.initial_fields(n)
+        Interpreter(transformed).call("pw_advection", u, v, w, su, sv, sw)
+        rsu, rsv, rsw = pw_advection.reference(u, v, w)
+        assert np.allclose(su, rsu) and np.allclose(sv, rsv) and np.allclose(sw, rsw)
+
+    def test_scalar_coefficient_capture(self):
+        src = """
+subroutine scaled(a, b, c)
+  implicit none
+  integer, parameter :: n = 10
+  real(kind=8), intent(in) :: a(n, n)
+  real(kind=8), intent(inout) :: b(n, n)
+  real(kind=8), intent(in) :: c
+  integer :: i, j
+  do j = 2, n - 1
+    do i = 2, n - 1
+      b(i, j) = c * (a(i-1, j) + a(i+1, j))
+    end do
+  end do
+end subroutine scaled
+"""
+        module, discovery = discover(src)
+        assert discovery.discovered == {"scaled": 1}
+        rng = np.random.default_rng(0)
+        a = np.asfortranarray(rng.random((10, 10)))
+        b = np.zeros((10, 10), order="F")
+        Interpreter(module).call("scaled", a, b, 2.5)
+        expected = np.zeros_like(b)
+        expected[1:-1, 1:-1] = 2.5 * (a[:-2, 1:-1] + a[2:, 1:-1])
+        assert np.allclose(b, expected)

@@ -1,0 +1,125 @@
+"""Tests for the DMP / MPI lowering and the simulated distributed execution."""
+
+import numpy as np
+import pytest
+
+from repro.apps import gauss_seidel
+from repro.compiler import Target, compile_fortran
+from repro.dialects import dmp, mpi, stencil
+from repro.harness import distributed_functional_check
+from repro.ir import default_context
+from repro.runtime.mpi_runtime import CartesianDecomposition, MPIError, SimulatedCommunicator
+from repro.transforms import ConvertDMPToMPIPass, ConvertStencilToDMPPass
+
+
+class TestStencilToDMP:
+    def _dmp_module(self, grid=(2, 2), lower_to_mpi=False):
+        source = gauss_seidel.generate_source(10, niters=1)
+        result = compile_fortran(source, Target.STENCIL_CPU)
+        ctx = default_context()
+        ConvertStencilToDMPPass(grid=grid).apply(ctx, result.stencil_module)
+        if lower_to_mpi:
+            ConvertDMPToMPIPass().apply(ctx, result.stencil_module)
+        result.stencil_module.verify()
+        return result
+
+    def test_halo_swap_inserted_before_snapshot(self):
+        result = self._dmp_module()
+        mod = result.stencil_module
+        swaps = [op for op in mod.walk() if isinstance(op, dmp.HaloSwapOp)]
+        assert len(swaps) == 1
+        assert swaps[0].halo == (1, 1, 1)
+        block_ops = list(swaps[0].parent_block().ops)
+        swap_index = block_ops.index(swaps[0])
+        load_index = next(
+            i for i, op in enumerate(block_ops) if isinstance(op, stencil.LoadOp)
+        )
+        assert swap_index < load_index
+
+    def test_grid_string_option(self):
+        p = ConvertStencilToDMPPass(grid="4x8")
+        assert p.grid == (4, 8)
+
+    def test_dmp_to_mpi_lowering(self):
+        result = self._dmp_module(lower_to_mpi=True)
+        mod = result.stencil_module
+        assert not any(isinstance(op, dmp.HaloSwapOp) for op in mod.walk())
+        isends = [op for op in mod.walk() if isinstance(op, mpi.ISendOp)]
+        irecvs = [op for op in mod.walk() if isinstance(op, mpi.IRecvOp)]
+        waits = [op for op in mod.walk() if isinstance(op, mpi.WaitAllOp)]
+        # 2 decomposed dims x 2 directions
+        assert len(isends) == 4 and len(irecvs) == 4 and len(waits) == 1
+        for op in isends + irecvs:
+            assert op.get_attr_or_none("slice_lb") is not None
+
+
+class TestCartesianDecomposition:
+    def test_rank_coordinate_round_trip(self):
+        d = CartesianDecomposition((16, 16, 8), (2, 4), (0, 1))
+        for rank in range(d.num_ranks):
+            assert d.rank_of(d.coords_of(rank)) == rank
+
+    def test_local_bounds_partition_domain(self):
+        d = CartesianDecomposition((10, 9, 4), (2, 3), (0, 1))
+        covered = np.zeros((10, 9), dtype=int)
+        for rank in range(d.num_ranks):
+            (xl, xu), (yl, yu), (zl, zu) = d.local_bounds(rank)
+            assert (zl, zu) == (0, 4)
+            covered[xl:xu, yl:yu] += 1
+        assert np.all(covered == 1)
+
+    def test_neighbours_at_edges(self):
+        d = CartesianDecomposition((8, 8), (2, 2), (0, 1))
+        n = d.neighbours(0)
+        assert n[(0, -1)] == -1 and n[(1, -1)] == -1
+        assert n[(0, +1)] == d.rank_of((1, 0))
+        assert n[(1, +1)] == d.rank_of((0, 1))
+
+
+class TestSimulatedCommunicator:
+    def test_send_receive_fifo(self):
+        comm = SimulatedCommunicator(2)
+        comm.send(0, 1, 7, np.arange(4))
+        comm.send(0, 1, 7, np.arange(4) * 2)
+        first = comm.receive(0, 1, 7)
+        second = comm.receive(0, 1, 7)
+        assert np.array_equal(first, np.arange(4))
+        assert np.array_equal(second, np.arange(4) * 2)
+
+    def test_accounting(self):
+        comm = SimulatedCommunicator(2)
+        comm.send(0, 1, 0, np.zeros(10))
+        assert comm.message_count == 1
+        assert comm.bytes_sent == 80
+
+    def test_invalid_rank_rejected(self):
+        comm = SimulatedCommunicator(2)
+        with pytest.raises(MPIError):
+            comm.send(0, 5, 0, np.zeros(1))
+
+    def test_receive_timeout(self):
+        comm = SimulatedCommunicator(2)
+        with pytest.raises(MPIError):
+            comm.receive(0, 1, 0, timeout=0.05)
+
+    def test_payload_is_copied(self):
+        comm = SimulatedCommunicator(2)
+        data = np.ones(3)
+        comm.send(0, 1, 0, data)
+        data[:] = 5.0
+        received = comm.receive(0, 1, 0)
+        assert np.array_equal(received, np.ones(3))
+
+
+class TestDistributedExecution:
+    def test_multi_rank_gauss_seidel_matches_reference(self):
+        outcome = distributed_functional_check(n_local=6, ranks=(2, 2), niters=2)
+        assert outcome["max_interior_error"] < 1e-12
+        assert outcome["messages"] > 0
+
+    def test_unmodified_source_used_for_distribution(self):
+        source = gauss_seidel.generate_source(8, niters=1)
+        serial = compile_fortran(source, Target.FLANG_ONLY)
+        distributed = compile_fortran(source, Target.STENCIL_DMP, grid=(2, 2))
+        assert serial.source == distributed.source
+        assert distributed.stencil_module is not None
