@@ -1,9 +1,35 @@
-"""Shared helpers for the benchmark harness (pytest-benchmark)."""
+"""Shared helpers for the benchmark harness (pytest-benchmark).
+
+Tests in this tree that time paper figures through the ``benchmark`` fixture
+are tagged ``slow_figure`` during collection and **skipped by default** so the
+tier-1 test run stays fast; pass ``--figures`` (registered in the repo-root
+conftest) to run them.  Plain assertion tests — e.g. the vectorized-mode
+speedup checks — always run.
+"""
+
+import pathlib
 
 import numpy as np
 import pytest
 
 from repro.apps import gauss_seidel, pw_advection
+
+_BENCHMARKS_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    run_figures = config.getoption("--figures", default=False)
+    skip = pytest.mark.skip(reason="slow figure benchmark; pass --figures to run")
+    for item in items:
+        # This hook sees the whole session's items; only gate this tree.
+        item_path = pathlib.Path(str(getattr(item, "fspath", ""))).resolve()
+        if _BENCHMARKS_DIR not in item_path.parents:
+            continue
+        uses_benchmark = "benchmark" in getattr(item, "fixturenames", ())
+        if uses_benchmark and item.get_closest_marker("slow_figure") is None:
+            item.add_marker(pytest.mark.slow_figure)
+        if not run_figures and (uses_benchmark or item.get_closest_marker("slow_figure")):
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,26 @@
+"""Repo-level pytest configuration.
+
+Registers the ``slow_figure`` marker and the ``--figures`` flag that opts the
+paper-figure benchmarks back in; the skip logic itself lives in
+``benchmarks/conftest.py`` so it only applies to the benchmark tree.  The
+tier-1 command (``PYTHONPATH=src python -m pytest -x -q``) therefore runs the
+full correctness suite plus the fast benchmark smoke checks, while the
+pytest-benchmark timing runs stay behind ``--figures``.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--figures",
+        action="store_true",
+        default=False,
+        help="run the slow paper-figure benchmarks (skipped by default)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow_figure: a slow paper-figure benchmark, skipped unless --figures "
+        "is passed",
+    )

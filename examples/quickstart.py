@@ -5,7 +5,16 @@ This reproduces the paper's core idea on the Listing 1 example: unmodified
 serial Fortran goes in, the compiler discovers the stencil in the FIR, extracts
 it into a separate stencil-dialect module, and the program runs with the
 optimised (vectorised) stencil execution path.
+
+Usage::
+
+    PYTHONPATH=src python examples/quickstart.py [--execution-mode MODE]
+
+where MODE is ``interpret`` (scalar oracle, the default), ``vectorize``
+(compiled NumPy whole-array kernels) or ``crosscheck`` (run both, compare).
 """
+
+import argparse
 
 import numpy as np
 
@@ -27,9 +36,12 @@ end subroutine average
 """
 
 
-def main() -> None:
+def main(execution_mode: str = "interpret") -> float:
     # 1. Compile: Fortran -> FIR -> stencil discovery -> extraction.
-    result = compile_fortran(FORTRAN_SOURCE, Target.STENCIL_CPU)
+    result = compile_fortran(
+        FORTRAN_SOURCE, Target.STENCIL_CPU, execution_mode=execution_mode
+    )
+    print(f"execution mode      : {execution_mode}")
     print(f"discovered stencils : {result.discovered_stencils}")
     print(f"extracted functions : {result.extracted_functions}")
 
@@ -47,8 +59,17 @@ def main() -> None:
     ) * 0.25
 
     result.run("average", data)
-    print("\nmax |error| vs numpy reference:", float(np.abs(data - expected).max()))
+    error = float(np.abs(data - expected).max())
+    print("\nmax |error| vs numpy reference:", error)
+    return error
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--execution-mode",
+        choices=("interpret", "vectorize", "crosscheck"),
+        default="interpret",
+        help="how the interpreter executes the extracted stencil",
+    )
+    main(parser.parse_args().execution_mode)

@@ -21,6 +21,7 @@ from .ir.context import Context, default_context
 from .ir.pass_manager import PassManager
 from .runtime.gpu_runtime import SimulatedGPU
 from .runtime.interpreter import Interpreter
+from .runtime.kernel_compiler import EXECUTION_MODES
 from .runtime.mpi_runtime import CartesianDecomposition, SimulatedCommunicator
 from .transforms import pipelines
 from .transforms.distributed import ConvertDMPToMPIPass, ConvertStencilToDMPPass
@@ -58,6 +59,20 @@ class CompilerOptions:
     tile_sizes: Tuple[int, ...] = (32, 32, 1)
     #: Merge adjacent stencils (ablation E9 switches this off).
     fuse_stencils: bool = True
+    #: How the interpreter executes stencil sweeps:
+    #: * ``"interpret"`` — scalar op-by-op execution (the reference oracle);
+    #: * ``"vectorize"`` — compile ``stencil.apply`` bodies and the scf/omp
+    #:   loop nests produced by ``convert-stencil-to-scf`` into cached NumPy
+    #:   whole-array kernels (see :mod:`repro.runtime.kernel_compiler`);
+    #: * ``"crosscheck"`` — run both and raise if results diverge.
+    execution_mode: str = "interpret"
+
+    def __post_init__(self) -> None:
+        if self.execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution_mode must be one of {EXECUTION_MODES}, "
+                f"got {self.execution_mode!r}"
+            )
 
 
 @dataclass
@@ -85,12 +100,15 @@ class CompilationResult:
         comm: Optional[SimulatedCommunicator] = None,
         rank: int = 0,
         decomposition: Optional[CartesianDecomposition] = None,
+        execution_mode: Optional[str] = None,
     ) -> Interpreter:
-        """Build an interpreter with the FIR and stencil modules linked."""
+        """Build an interpreter with the FIR and stencil modules linked.
+        ``execution_mode`` overrides the compile-time option when given."""
         if gpu is None and self.options.target is Target.STENCIL_GPU:
             gpu = SimulatedGPU()
         return Interpreter(
-            self.modules, gpu=gpu, comm=comm, rank=rank, decomposition=decomposition
+            self.modules, gpu=gpu, comm=comm, rank=rank, decomposition=decomposition,
+            execution_mode=execution_mode or self.options.execution_mode,
         )
 
     def run(self, entry: str, *args, **kwargs):

@@ -61,6 +61,12 @@ class PatternRewriter:
     def insert_ops_before(
         self, new_ops: Sequence[Operation], anchor: Optional[Operation] = None
     ) -> List[Operation]:
+        """Insert ``new_ops`` before ``anchor``, preserving their relative
+        order: afterwards the block reads ``new_ops[0], ..., new_ops[-1],
+        anchor``.  (Each op is inserted immediately before the anchor, so
+        successive inserts land *after* the previously inserted ones — the
+        sequence is not reversed; see test_insert_ops_before_preserves_order.)
+        """
         return [self.insert_op_before(op, anchor) for op in new_ops]
 
     # -- replacement / erasure ------------------------------------------------

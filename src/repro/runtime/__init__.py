@@ -2,12 +2,26 @@
 
 from .gpu_runtime import GPUTransfer, KernelLaunch, SimulatedGPU
 from .interpreter import FieldValue, Frame, Interpreter, InterpreterError, TempValue
+from .kernel_compiler import (
+    EXECUTION_MODES,
+    CompiledKernel,
+    KernelCompiler,
+    KernelUnsupported,
+    apply_is_vectorizable,
+    structural_hash,
+)
 from .memory import ElementRef, MemoryBuffer, numpy_dtype_for
 from .mpi_runtime import CartesianDecomposition, MPIError, SimulatedCommunicator
 
 __all__ = [
     "Interpreter",
     "InterpreterError",
+    "EXECUTION_MODES",
+    "CompiledKernel",
+    "KernelCompiler",
+    "KernelUnsupported",
+    "apply_is_vectorizable",
+    "structural_hash",
     "Frame",
     "FieldValue",
     "TempValue",

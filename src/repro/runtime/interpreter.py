@@ -11,6 +11,14 @@ pipeline against numpy-backed memory:
   accounting (kernel launches, PCIe transfers, messages) that feeds the
   performance models.
 
+The interpreter has three execution modes (see
+:mod:`repro.runtime.kernel_compiler`): ``"interpret"`` — the scalar op-by-op
+reference semantics; ``"vectorize"`` — ``stencil.apply`` bodies and
+scf/omp loop nests are dispatched to compiled, cached NumPy whole-array
+kernels, falling back to scalar execution whenever a kernel cannot be built
+or a runtime alias/bounds guard fails; ``"crosscheck"`` — every vectorized
+sweep is replayed through the scalar oracle and compared.
+
 Numerical results of every path are compared against numpy references in the
 integration tests.
 """
@@ -37,6 +45,7 @@ from ..ir.types import (
     TypeAttribute,
 )
 from .gpu_runtime import SimulatedGPU
+from .kernel_compiler import EXECUTION_MODES, KernelCompiler
 from .memory import ElementRef, MemoryBuffer, numpy_dtype_for
 from .mpi_runtime import CartesianDecomposition, SimulatedCommunicator
 
@@ -113,14 +122,29 @@ class Interpreter:
         comm: Optional[SimulatedCommunicator] = None,
         rank: int = 0,
         decomposition: Optional[CartesianDecomposition] = None,
+        execution_mode: str = "interpret",
+        kernel_compiler: Optional[KernelCompiler] = None,
     ):
         if isinstance(modules, ModuleOp):
             modules = [modules]
+        if execution_mode not in EXECUTION_MODES:
+            raise InterpreterError(
+                f"unknown execution mode '{execution_mode}'; "
+                f"expected one of {EXECUTION_MODES}"
+            )
         self.modules: List[ModuleOp] = list(modules)
         self.gpu = gpu
         self.comm = comm
         self.rank = rank
         self.decomposition = decomposition
+        #: "interpret" executes everything op by op (the reference oracle);
+        #: "vectorize" dispatches stencil.apply / scf.parallel / omp.wsloop
+        #: sweeps to compiled whole-array kernels; "crosscheck" runs both and
+        #: raises if they diverge.
+        self.execution_mode = execution_mode
+        self.kernels = kernel_compiler if kernel_compiler is not None else (
+            KernelCompiler() if execution_mode != "interpret" else None
+        )
         self.stats: Dict[str, float] = {
             "stencil_apply_executions": 0,
             "stencil_points_computed": 0,
@@ -130,6 +154,8 @@ class Interpreter:
             "kernel_launches": 0,
             "mpi_messages": 0,
             "mpi_bytes": 0,
+            "vectorized_sweeps": 0,
+            "vectorize_fallbacks": 0,
         }
         self._functions: Dict[str, FuncOp] = {}
         self._gpu_kernels: Dict[str, Operation] = {}
@@ -605,9 +631,8 @@ class Interpreter:
         lowers = [int(_as_python(frame.get(o))) for o in op.operands[:rank]]
         uppers = [int(_as_python(frame.get(o))) for o in op.operands[rank:2 * rank]]
         steps = [int(_as_python(frame.get(o))) for o in op.operands[2 * rank:3 * rank]]
-        block = op.regions[0].block
         self.stats["parallel_regions"] += 1
-        self._iterate_nest(block, frame, lowers, uppers, steps, 0, [0] * rank)
+        self._run_nest(op, frame, lowers, uppers, steps)
         return []
 
     def _iterate_nest(self, block: Block, frame: Frame, lowers, uppers, steps,
@@ -642,9 +667,116 @@ class Interpreter:
         lowers = [int(_as_python(frame.get(o))) for o in op.operands[:rank]]
         uppers = [int(_as_python(frame.get(o))) for o in op.operands[rank:2 * rank]]
         steps = [int(_as_python(frame.get(o))) for o in op.operands[2 * rank:3 * rank]]
-        block = op.regions[0].block
-        self._iterate_nest(block, frame, lowers, uppers, steps, 0, [0] * rank)
+        self._run_nest(op, frame, lowers, uppers, steps)
         return []
+
+    # ------------------------------------------------------------------
+    # vectorized kernel dispatch (see runtime/kernel_compiler.py)
+    # ------------------------------------------------------------------
+
+    def _run_nest(self, op: Operation, frame: Frame,
+                  lowers: List[int], uppers: List[int], steps: List[int]) -> None:
+        """Execute a loop-nest op: compiled kernel when enabled and safe,
+        scalar iteration otherwise — both paths share one runner so the
+        crosscheck oracle and the fallback can never diverge."""
+        block = op.regions[0].block
+
+        def scalar_runner() -> None:
+            self._iterate_nest(block, frame, lowers, uppers, steps, 0,
+                               [0] * len(lowers))
+
+        if self.execution_mode != "interpret" and \
+                self._vectorize_nest(op, frame, scalar_runner):
+            return
+        scalar_runner()
+
+    def _vectorize_nest(self, op: Operation, frame: Frame,
+                        scalar_runner: Callable[[], None]) -> bool:
+        """Run a loop-nest sweep through its compiled kernel.  Returns False
+        (caller interprets point by point) when the op cannot be compiled or
+        a runtime guard fails."""
+        bound = self.kernels.kernel_for(op)
+        if bound is None:
+            self.stats["vectorize_fallbacks"] += 1
+            return False
+        kernel = bound.kernel
+        externals = [frame.get(v) for v in bound.external_values]
+        lowers, uppers, steps = [], [], []
+        for lower_slot, upper_slot, step_slot in kernel.bound_slots:
+            lowers.append(int(_as_python(externals[lower_slot])))
+            uppers.append(int(_as_python(externals[upper_slot])))
+            steps.append(int(_as_python(externals[step_slot])))
+        if not kernel.guards_pass(externals, lowers, uppers, steps):
+            self.stats["vectorize_fallbacks"] += 1
+            return False
+        if any(u <= l for l, u in zip(lowers, uppers)):
+            return True  # empty iteration space: nothing to execute
+        if self.execution_mode == "crosscheck":
+            self._crosscheck_nest(kernel, externals, lowers, uppers, scalar_runner)
+        else:
+            kernel.fn(externals, lowers, uppers)
+        self.stats["vectorized_sweeps"] += 1
+        return True
+
+    def _crosscheck_nest(self, kernel, externals, lowers, uppers,
+                         scalar_runner: Callable[[], None]) -> None:
+        """Run the compiled kernel AND the scalar oracle; raise on divergence.
+        Leaves the oracle's results in memory."""
+        targets = kernel.store_targets(externals)
+        before = [t.copy() for t in targets]
+        kernel.fn(externals, lowers, uppers)
+        vectorized = [t.copy() for t in targets]
+        for target, saved in zip(targets, before):
+            np.copyto(target, saved)
+        scalar_runner()
+        for target, vec in zip(targets, vectorized):
+            if not np.allclose(target, vec, equal_nan=True):
+                worst = float(np.max(np.abs(np.asarray(target) - vec)))
+                raise InterpreterError(
+                    "vectorized kernel diverged from the scalar oracle "
+                    f"(max |diff| = {worst:g});\n--- kernel source ---\n"
+                    f"{kernel.source}"
+                )
+
+    def _run_apply_scalar(self, op: Operation, frame: Frame,
+                          lb: Tuple[int, ...], ub: Tuple[int, ...]) -> List[object]:
+        """The scalar apply-body protocol, shared between the interpret/
+        fallback path and the crosscheck oracle so they cannot diverge."""
+        block = op.regions[0].block
+        for arg, operand in zip(block.args, op.operands):
+            frame.set(arg, frame.get(operand))
+        self._apply_stack.append((lb, ub))
+        try:
+            return self.run_block(block, frame)
+        finally:
+            self._apply_stack.pop()
+
+    def _vectorize_apply(self, op: Operation, frame: Frame,
+                         lb: Tuple[int, ...], ub: Tuple[int, ...]):
+        """Execute a stencil.apply through its compiled kernel; returns the
+        list of result arrays, or None to fall back to the scalar path."""
+        bound = self.kernels.kernel_for(op)
+        if bound is None:
+            self.stats["vectorize_fallbacks"] += 1
+            return None
+        kernel = bound.kernel
+        externals = [frame.get(v) for v in bound.external_values]
+        if not kernel.apply_guards_pass(externals, lb, ub):
+            self.stats["vectorize_fallbacks"] += 1
+            return None
+        results = kernel.fn(externals, lb, ub)
+        if self.execution_mode == "crosscheck":
+            reference = self._run_apply_scalar(op, frame, lb, ub)
+            for vec, ref in zip(results, reference):
+                if not np.allclose(np.asarray(vec, dtype=np.float64),
+                                   np.asarray(ref, dtype=np.float64),
+                                   equal_nan=True):
+                    raise InterpreterError(
+                        "vectorized stencil.apply diverged from the scalar "
+                        f"oracle;\n--- kernel source ---\n{kernel.source}"
+                    )
+        self.stats["vectorized_sweeps"] += 1
+        return results
 
     # ------------------------------------------------------------------
     # stencil handlers (vectorised execution)
@@ -675,14 +807,11 @@ class Interpreter:
         lb = op.get_attr("lb").as_tuple()  # type: ignore[union-attr]
         ub = op.get_attr("ub").as_tuple()  # type: ignore[union-attr]
         domain = tuple(u - l for l, u in zip(lb, ub))
-        block = op.regions[0].block
-        for arg, operand in zip(block.args, op.operands):
-            frame.set(arg, frame.get(operand))
-        self._apply_stack.append((lb, ub))
-        try:
-            returned = self.run_block(block, frame)
-        finally:
-            self._apply_stack.pop()
+        returned = None
+        if self.execution_mode != "interpret":
+            returned = self._vectorize_apply(op, frame, lb, ub)
+        if returned is None:
+            returned = self._run_apply_scalar(op, frame, lb, ub)
         self.stats["stencil_apply_executions"] += 1
         points = 1
         for extent in domain:

@@ -1,0 +1,906 @@
+"""Vectorized kernel compilation backend for stencil execution.
+
+The scalar interpreter executes the scf/omp loop nests produced by
+``convert-stencil-to-scf`` one grid point at a time, dispatching every
+``memref.load`` / ``arith.*`` / ``memref.store`` through a Python handler
+table.  That is the dominant cost of every lowered benchmark.  This module
+instead *compiles* the body of such a loop nest — and the body region of a
+``stencil.apply`` — into a single Python function built out of NumPy
+whole-array slice expressions, so one sweep of the stencil executes as a
+handful of vectorised array operations.
+
+Architecture
+============
+
+:class:`KernelCompiler` is the entry point.  It keeps a **kernel cache**
+keyed on the *structural hash* of the source operation (op names, attributes,
+types and internal dataflow, with external SSA values numbered in first-use
+order), so two structurally identical sweeps — the same ``scf.parallel``
+executed once per time step, or the same stencil compiled into a second
+module — share one compiled kernel.  A per-op identity memo makes the
+per-sweep lookup a single dict probe.
+
+Compilation translates IR to Python source:
+
+* loop induction variables become *affine index descriptors* ``iv[d] + c``;
+* ``memref.load`` / ``stencil.access`` with affine indices become NumPy basic
+  slices of the underlying array, e.g. ``a[lb0-1:ub0-1, lb1:ub1]``;
+* element-wise ``arith`` / ``math`` ops become the corresponding NumPy
+  expressions over those slices;
+* ``memref.store`` becomes one sliced assignment per sweep.
+
+The generated source is compiled with :func:`compile`/``exec`` and wrapped in
+a :class:`CompiledKernel`; ``kernel.source`` keeps the generated text for
+inspection.  Because a cached kernel may be reused for a *different* op
+instance with the same structure, the kernel references its inputs through
+**external paths** (operand positions within the op) which
+:meth:`KernelCompiler.kernel_for` resolves against the concrete op, rather
+than through SSA values captured at compile time.
+
+Correctness guards and the interpreter oracle
+=============================================
+
+Vectorising a sequential loop nest is only sound when no iteration observes a
+write performed by another iteration.  Compilation *statically* rejects
+unsupported ops (``scf.if``, ``stencil.dyn_access``, calls, nested regions)
+and non-affine indexing; in addition every invocation *dynamically* verifies,
+against the actual runtime values, that
+
+* all loop steps are 1 and all accesses stay in bounds (NumPy's negative
+  index wrap-around would silently diverge from the scalar semantics), and
+* no stored-to buffer shares memory with any loaded-from buffer
+  (``np.may_share_memory``) — e.g. a true in-place Gauss–Seidel nest refuses
+  to vectorise and falls back.
+
+When a kernel cannot be built or a guard fails, the caller falls back to the
+scalar interpreter, which therefore remains the semantic *oracle*: execution
+mode ``"crosscheck"`` (see :mod:`repro.compiler`) runs both paths on every
+sweep and raises if their results diverge beyond ``np.allclose``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dialects import fir, scf, stencil
+from ..ir.operation import Operation
+from ..ir.ssa import SSAValue
+from ..ir.types import FloatType, IndexType, IntegerType, MemRefType
+from .memory import MemoryBuffer, numpy_dtype_for
+
+#: Execution modes accepted by CompilerOptions / Interpreter.
+EXECUTION_MODES = ("interpret", "vectorize", "crosscheck")
+
+
+class KernelUnsupported(Exception):
+    """Raised during compilation when an op/indexing pattern cannot be
+    expressed as whole-array NumPy slices; the caller falls back to the
+    scalar interpreter."""
+
+
+# ---------------------------------------------------------------------------
+# Structural hashing
+# ---------------------------------------------------------------------------
+
+
+#: Attributes that carry metadata about an op rather than defining its
+#: semantics; excluded from the structural hash so tagging an op (e.g. with
+#: stencil.vectorizable after analysis) does not invalidate its cache entry.
+_METADATA_ATTRS = frozenset({"stencil.vectorizable"})
+
+
+def structural_hash(op: Operation) -> str:
+    """A hash of the operation's *structure*: names, semantic attributes,
+    types and internal dataflow.  External SSA values are numbered in
+    first-use order, so two structurally identical ops — even from different
+    modules — map to the same digest."""
+    parts: List[str] = []
+    tokens: Dict[int, str] = {}
+
+    def token(value: SSAValue) -> str:
+        tok = tokens.get(id(value))
+        if tok is None:
+            tok = f"x{len(tokens)}"
+            tokens[id(value)] = tok
+        return tok
+
+    def visit(current: Operation) -> None:
+        parts.append(current.name)
+        for attr_name in sorted(current.attributes):
+            if attr_name in _METADATA_ATTRS:
+                continue
+            parts.append(f"{attr_name}={current.attributes[attr_name].print()}")
+        parts.append("(" + ",".join(token(o) for o in current.operands) + ")")
+        for result in current.results:
+            parts.append("->" + result.type.print())
+            token(result)
+        for region in current.regions:
+            for block in region.blocks:
+                parts.append("^(" + ",".join(a.type.print() for a in block.args) + ")")
+                for arg in block.args:
+                    token(arg)
+                for inner in block.ops:
+                    visit(inner)
+                parts.append("$")
+
+    visit(op)
+    return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# External paths: how a kernel finds its inputs on any structurally
+# identical op instance
+# ---------------------------------------------------------------------------
+
+#: ("root", operand_index)           — operand of the compiled op itself
+#: ("for", dim, which)               — (lower|upper|step)[which] of the inner
+#:                                     scf.for at nest depth ``dim``
+#: ("body", op_index, operand_index) — operand of the innermost body's op
+ExternalPath = Tuple
+
+
+# ---------------------------------------------------------------------------
+# Codegen symbols
+# ---------------------------------------------------------------------------
+
+
+class _Affine:
+    """A value of the form ``iv[dim] + offset`` (unit-coefficient affine)."""
+
+    __slots__ = ("dim", "offset")
+
+    def __init__(self, dim: int, offset: int):
+        self.dim = dim
+        self.offset = offset
+
+
+class _Const:
+    """A compile-time constant (from ``arith.constant`` inside the body)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class _Expr:
+    """A generated expression bound to a local variable of the kernel.
+
+    ``is_array`` distinguishes whole-domain arrays (slices and element-wise
+    combinations of them) from runtime scalars; scalars broadcast under
+    NumPy's rules.
+    """
+
+    __slots__ = ("var", "is_array")
+
+    def __init__(self, var: str, is_array: bool):
+        self.var = var
+        self.is_array = is_array
+
+
+#: Element-wise binary ops -> Python/NumPy expression templates.
+_BINARY_TEMPLATES = {
+    "arith.addf": "({0} + {1})",
+    "arith.subf": "({0} - {1})",
+    "arith.mulf": "({0} * {1})",
+    "arith.divf": "({0} / {1})",
+    "arith.addi": "({0} + {1})",
+    "arith.subi": "({0} - {1})",
+    "arith.muli": "({0} * {1})",
+    "arith.maximumf": "np.maximum({0}, {1})",
+    "arith.minimumf": "np.minimum({0}, {1})",
+    "arith.maxsi": "np.maximum({0}, {1})",
+    "arith.minsi": "np.minimum({0}, {1})",
+    "arith.andi": "np.logical_and({0}, {1})",
+    "arith.ori": "np.logical_or({0}, {1})",
+    "arith.xori": "np.not_equal({0}, {1})",
+    "math.powf": "np.power({0}, {1})",
+    "arith.divsi": "_divsi({0}, {1})",
+    "arith.remsi": "_remsi({0}, {1})",
+}
+
+_UNARY_TEMPLATES = {
+    "arith.negf": "(-{0})",
+    "math.sqrt": "np.sqrt({0})",
+    "math.absf": "np.abs({0})",
+    "math.sin": "np.sin({0})",
+    "math.cos": "np.cos({0})",
+    "math.tan": "np.tan({0})",
+    "math.tanh": "np.tanh({0})",
+    "math.exp": "np.exp({0})",
+    "math.log": "np.log({0})",
+    "math.log10": "np.log10({0})",
+}
+
+_CMP_TEMPLATES = {
+    "oeq": "np.equal", "one": "np.not_equal", "olt": "np.less",
+    "ole": "np.less_equal", "ogt": "np.greater", "oge": "np.greater_equal",
+    "eq": "np.equal", "ne": "np.not_equal", "slt": "np.less",
+    "sle": "np.less_equal", "sgt": "np.greater", "sge": "np.greater_equal",
+}
+
+_CAST_OPS = ("arith.index_cast", "arith.sitofp", "arith.fptosi",
+             "arith.extf", "arith.truncf")
+
+
+def _divsi(lhs, rhs):
+    """Fortran/C integer division: truncate toward zero (matches the
+    interpreter's ``arith.divsi`` handler)."""
+    return np.trunc(np.divide(lhs, rhs)).astype(np.int64)
+
+
+def _remsi(lhs, rhs):
+    quotient = np.trunc(np.divide(lhs, rhs)).astype(np.int64)
+    return np.asarray(lhs) - quotient * np.asarray(rhs)
+
+
+def _scalar(value):
+    """Collapse runtime external values to something NumPy can broadcast."""
+    if isinstance(value, MemoryBuffer):
+        return value.data[()] if value.is_scalar else value.data
+    if isinstance(value, np.ndarray) and value.ndim == 0:
+        return value[()]
+    return value
+
+
+_NAMESPACE = {"np": np, "_divsi": _divsi, "_remsi": _remsi, "_scalar": _scalar}
+
+
+# ---------------------------------------------------------------------------
+# Compiled kernel objects
+# ---------------------------------------------------------------------------
+
+
+class CompiledKernel:
+    """A compiled sweep: a Python function over NumPy arrays plus the access
+    metadata needed for the runtime bounds/alias guards.
+
+    ``loads`` and ``stores`` list ``(external_slot, ((dim, offset), ...))``
+    pairs: slot indexes the external vector, and each ``(dim, offset)``
+    describes the affine index ``iv[dim] + offset`` used for the
+    corresponding array axis.  ``external_paths`` locate the externals on any
+    structurally identical op (see module docstring); ``bound_slots`` names,
+    for loop-nest kernels, the (lower, upper, step) slot triple of each
+    dimension.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        source: str,
+        rank: int,
+        loads: Sequence[Tuple[int, Tuple[Tuple[int, int], ...]]],
+        stores: Sequence[Tuple[int, Tuple[Tuple[int, int], ...]]],
+        external_paths: Sequence[ExternalPath],
+        bound_slots: Sequence[Tuple[int, int, int]] = (),
+    ):
+        self.fn = fn
+        self.source = source
+        self.rank = rank
+        self.loads = tuple(loads)
+        self.stores = tuple(stores)
+        self.external_paths = tuple(external_paths)
+        self.bound_slots = tuple(bound_slots)
+
+    # -- runtime guards ----------------------------------------------------
+
+    def guards_pass(self, externals: Sequence[object], lowers: Sequence[int],
+                    uppers: Sequence[int], steps: Sequence[int]) -> bool:
+        """Check unit steps, in-bounds slices, and load/store aliasing against
+        the actual runtime values.  Returning False sends the caller to the
+        scalar interpreter."""
+        if any(s != 1 for s in steps):
+            return False
+        for slot, axes in self.loads + self.stores:
+            array = self._array_of(externals[slot])
+            if array is None or array.ndim != len(axes):
+                return False
+            for axis, (dim, offset) in enumerate(axes):
+                if lowers[dim] + offset < 0 or uppers[dim] + offset > array.shape[axis]:
+                    return False
+        store_arrays = [self._array_of(externals[slot]) for slot, _ in self.stores]
+        load_arrays = [self._array_of(externals[slot]) for slot, _ in self.loads]
+        for stored in store_arrays:
+            for loaded in load_arrays:
+                if stored is not None and loaded is not None and \
+                        np.may_share_memory(stored, loaded):
+                    return False
+        # Two stores into overlapping storage interleave per point under
+        # scalar semantics but sweep-at-a-time here (`a[i]=x; a[i+1]=y` ends
+        # [x,y,y,…] scalar vs [x,x,…,y] vectorized).  The only safe aliasing
+        # pair is the *same* array written through the *same* index map —
+        # there the last store wins at every point in both orders.
+        for i, (_, axes_i) in enumerate(self.stores):
+            for j in range(i + 1, len(self.stores)):
+                first, second = store_arrays[i], store_arrays[j]
+                if first is None or second is None:
+                    return False
+                if first is second and axes_i == self.stores[j][1]:
+                    continue
+                if np.may_share_memory(first, second):
+                    return False
+        return True
+
+    def apply_guards_pass(self, externals: Sequence[object], lb: Sequence[int],
+                          ub: Sequence[int]) -> bool:
+        """Bounds guard for ``stencil.apply`` kernels: every access window
+        ``[lb+off-origin, ub+off-origin)`` must fall inside its temp's data."""
+        for slot, axes in self.loads:
+            temp = externals[slot]
+            array = getattr(temp, "data", None)
+            origin = getattr(temp, "origin", None)
+            if not isinstance(array, np.ndarray) or origin is None or \
+                    array.ndim != len(axes):
+                return False
+            for axis, (dim, offset) in enumerate(axes):
+                low = lb[dim] + offset - origin[dim]
+                high = ub[dim] + offset - origin[dim]
+                if low < 0 or high > array.shape[axis]:
+                    return False
+        return True
+
+    @staticmethod
+    def _array_of(value) -> Optional[np.ndarray]:
+        if isinstance(value, MemoryBuffer):
+            return value.data
+        if isinstance(value, np.ndarray):
+            return value
+        data = getattr(value, "data", None)  # FieldValue / TempValue
+        return data if isinstance(data, np.ndarray) else None
+
+    def store_targets(self, externals: Sequence[object]) -> List[np.ndarray]:
+        """The distinct arrays this kernel writes (for crosscheck snapshots)."""
+        targets: List[np.ndarray] = []
+        for slot, _ in self.stores:
+            array = self._array_of(externals[slot])
+            if array is not None and not any(array is t for t in targets):
+                targets.append(array)
+        return targets
+
+    def __call__(self, externals, lowers, uppers):
+        return self.fn(externals, lowers, uppers)
+
+
+class BoundKernel:
+    """A compiled kernel bound to one op instance: the kernel plus the SSA
+    values (resolved from the kernel's external paths) to read per sweep."""
+
+    __slots__ = ("kernel", "external_values")
+
+    def __init__(self, kernel: CompiledKernel, external_values: List[SSAValue]):
+        self.kernel = kernel
+        self.external_values = external_values
+
+
+# ---------------------------------------------------------------------------
+# Codegen core shared by the nest and apply translators
+# ---------------------------------------------------------------------------
+
+
+def _is_reference_type(value: SSAValue) -> bool:
+    t = value.type
+    return (
+        isinstance(t, (MemRefType, stencil.FieldType, stencil.TempType))
+        or fir.is_reference_like(t)
+    )
+
+
+class _BodyTranslator:
+    """Translates one straight-line block of element-wise ops into Python
+    source lines over whole-array slices."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.lines: List[str] = []
+        self.values: Dict[int, object] = {}  # id(SSAValue) -> _Expr/_Affine/_Const
+        self.external_paths: List[ExternalPath] = []
+        self.external_slots: Dict[int, int] = {}
+        self.loads: List[Tuple[int, Tuple[Tuple[int, int], ...]]] = []
+        self.stores: List[Tuple[int, Tuple[Tuple[int, int], ...]]] = []
+        self._counter = 0
+        #: set by the driver before translating each body op, so scalar
+        #: externals discovered mid-expression can be given a path
+        self.current_body_op: Optional[Tuple[Operation, int]] = None
+
+    # -- helpers -----------------------------------------------------------
+
+    def fresh(self) -> str:
+        self._counter += 1
+        return f"t{self._counter}"
+
+    def external_slot(self, value: SSAValue, path: ExternalPath) -> int:
+        slot = self.external_slots.get(id(value))
+        if slot is None:
+            slot = len(self.external_paths)
+            self.external_slots[id(value)] = slot
+            self.external_paths.append(path)
+        return slot
+
+    def _path_of_operand(self, value: SSAValue) -> ExternalPath:
+        if self.current_body_op is None:
+            raise KernelUnsupported("external value outside of a body op")
+        body_op, op_index = self.current_body_op
+        for j, operand in enumerate(body_op.operands):
+            if operand is value:
+                return ("body", op_index, j)
+        raise KernelUnsupported("cannot locate external value on its use")
+
+    def bind_external_scalar(self, value: SSAValue) -> _Expr:
+        """Materialise an external scalar into a local variable."""
+        if _is_reference_type(value):
+            raise KernelUnsupported("reference-typed value used as a scalar")
+        slot = self.external_slot(value, self._path_of_operand(value))
+        var = f"e{slot}"
+        expr = _Expr(var, is_array=False)
+        self.values[id(value)] = expr
+        self.lines.append(f"{var} = _scalar(ext[{slot}])")
+        return expr
+
+    def as_code(self, value: SSAValue) -> Tuple[str, bool]:
+        """Render an SSA value as (expression, is_array)."""
+        sym = self.values.get(id(value))
+        if sym is None:
+            sym = self.bind_external_scalar(value)
+        if isinstance(sym, _Expr):
+            return sym.var, sym.is_array
+        if isinstance(sym, _Const):
+            return repr(sym.value), False
+        if isinstance(sym, _Affine):
+            return self.materialise_affine(sym), True
+        raise KernelUnsupported(f"cannot render value {value!r}")
+
+    def materialise_affine(self, sym: _Affine) -> str:
+        """An induction variable used as a *number* (not an index): broadcast
+        ``arange(lb+c, ub+c)`` along its dimension over the sweep domain."""
+        var = self.fresh()
+        shape = ", ".join("-1" if d == sym.dim else "1" for d in range(self.rank))
+        self.lines.append(
+            f"{var} = np.arange(lb[{sym.dim}] + {sym.offset}, "
+            f"ub[{sym.dim}] + {sym.offset}).reshape(({shape}))"
+        )
+        return var
+
+    def affine_indices(self, index_values: Sequence[SSAValue]) -> Tuple[Tuple[int, int], ...]:
+        """Resolve load/store indices to per-axis (dim, offset) descriptors.
+        Each axis must use a distinct induction variable."""
+        axes: List[Tuple[int, int]] = []
+        for value in index_values:
+            sym = self.values.get(id(value))
+            if isinstance(sym, _Affine):
+                axes.append((sym.dim, sym.offset))
+            else:
+                raise KernelUnsupported("non-affine memory index")
+        used_dims = [d for d, _ in axes]
+        if len(set(used_dims)) != len(used_dims):
+            raise KernelUnsupported("induction variable reused across axes")
+        return tuple(axes)
+
+    def slice_code(self, base: str, axes: Sequence[Tuple[int, int]]) -> str:
+        """A whole-sweep slice of ``base``, transposed/expanded so its axes
+        line up with induction-variable order for broadcasting."""
+        slices = ", ".join(
+            f"lb[{dim}] + {offset}:ub[{dim}] + {offset}" if offset else
+            f"lb[{dim}]:ub[{dim}]"
+            for dim, offset in axes
+        )
+        code = f"{base}[{slices}]"
+        order = [dim for dim, _ in axes]
+        if order != sorted(order):
+            perm = tuple(int(i) for i in np.argsort(order))
+            code = f"np.transpose({code}, {perm})"
+        missing = [d for d in range(self.rank) if d not in order]
+        for dim in missing:
+            code = f"np.expand_dims({code}, {dim})"
+        return code
+
+    # -- op translation ----------------------------------------------------
+
+    def translate_op(self, op: Operation) -> None:
+        name = op.name
+        if name == "arith.constant":
+            attr = op.get_attr("value")
+            if isinstance(getattr(attr, "type", None), (IntegerType, IndexType)):
+                self.values[id(op.results[0])] = _Const(int(attr.value))
+            elif isinstance(getattr(attr, "type", None), FloatType):
+                self.values[id(op.results[0])] = _Const(float(attr.value))
+            else:
+                raise KernelUnsupported("constant of unsupported type")
+            return
+
+        if name in ("arith.addi", "arith.subi"):
+            # Index arithmetic on induction variables stays symbolic so it
+            # folds into slice bounds; everything else drops to the
+            # element-wise path below.
+            lhs = self.values.get(id(op.operands[0]))
+            rhs = self.values.get(id(op.operands[1]))
+            sign = 1 if name == "arith.addi" else -1
+            if isinstance(lhs, _Affine) and isinstance(rhs, _Const):
+                self.values[id(op.results[0])] = _Affine(lhs.dim, lhs.offset + sign * rhs.value)
+                return
+            if name == "arith.addi" and isinstance(lhs, _Const) and isinstance(rhs, _Affine):
+                self.values[id(op.results[0])] = _Affine(rhs.dim, rhs.offset + lhs.value)
+                return
+            if isinstance(lhs, _Const) and isinstance(rhs, _Const):
+                self.values[id(op.results[0])] = _Const(lhs.value + sign * rhs.value)
+                return
+
+        if name in _BINARY_TEMPLATES:
+            a, a_arr = self.as_code(op.operands[0])
+            b, b_arr = self.as_code(op.operands[1])
+            var = self.fresh()
+            self.lines.append(f"{var} = " + _BINARY_TEMPLATES[name].format(a, b))
+            self.values[id(op.results[0])] = _Expr(var, a_arr or b_arr)
+            return
+
+        if name in _UNARY_TEMPLATES:
+            a, a_arr = self.as_code(op.operands[0])
+            var = self.fresh()
+            self.lines.append(f"{var} = " + _UNARY_TEMPLATES[name].format(a))
+            self.values[id(op.results[0])] = _Expr(var, a_arr)
+            return
+
+        if name == "math.fma":
+            a, a_arr = self.as_code(op.operands[0])
+            b, b_arr = self.as_code(op.operands[1])
+            c, c_arr = self.as_code(op.operands[2])
+            var = self.fresh()
+            self.lines.append(f"{var} = ({a} * {b} + {c})")
+            self.values[id(op.results[0])] = _Expr(var, a_arr or b_arr or c_arr)
+            return
+
+        if name in ("arith.cmpf", "arith.cmpi"):
+            pred = op.get_attr("predicate").data  # type: ignore[union-attr]
+            if pred not in _CMP_TEMPLATES:
+                raise KernelUnsupported(f"comparison predicate '{pred}'")
+            a, a_arr = self.as_code(op.operands[0])
+            b, b_arr = self.as_code(op.operands[1])
+            var = self.fresh()
+            self.lines.append(f"{var} = {_CMP_TEMPLATES[pred]}({a}, {b})")
+            self.values[id(op.results[0])] = _Expr(var, a_arr or b_arr)
+            return
+
+        if name == "arith.select":
+            c, c_arr = self.as_code(op.operands[0])
+            a, a_arr = self.as_code(op.operands[1])
+            b, b_arr = self.as_code(op.operands[2])
+            var = self.fresh()
+            self.lines.append(f"{var} = np.where({c}, {a}, {b})")
+            self.values[id(op.results[0])] = _Expr(var, c_arr or a_arr or b_arr)
+            return
+
+        if name in _CAST_OPS:
+            source = self.values.get(id(op.operands[0]))
+            if isinstance(source, _Affine) and name == "arith.index_cast":
+                self.values[id(op.results[0])] = source
+                return
+            a, a_arr = self.as_code(op.operands[0])
+            dtype = numpy_dtype_for(op.results[0].type)
+            var = self.fresh()
+            if a_arr:
+                self.lines.append(f"{var} = {a}.astype('{dtype.name}')")
+            else:
+                self.lines.append(f"{var} = np.dtype('{dtype.name}').type({a})")
+            self.values[id(op.results[0])] = _Expr(var, a_arr)
+            return
+
+        raise KernelUnsupported(f"operation '{name}' is not vectorizable")
+
+
+def _assemble(name: str, lines: List[str]) -> Tuple[Callable, str]:
+    body = "\n".join("    " + line for line in lines) or "    pass"
+    source = f"def {name}(ext, lb, ub):\n{body}\n"
+    namespace = dict(_NAMESPACE)
+    exec(compile(source, f"<{name}>", "exec"), namespace)
+    return namespace[name], source
+
+
+# ---------------------------------------------------------------------------
+# Loop-nest compilation (scf.parallel / omp.wsloop with nested scf.for)
+# ---------------------------------------------------------------------------
+
+
+def _nest_structure(op: Operation):
+    """Peel a perfect loop nest: returns (bounds, ivs, body) where ``bounds``
+    holds per-dimension (lower, upper, step) SSA values, ``ivs`` the
+    induction variables, and ``body`` the innermost element-wise block."""
+    if op.name not in ("scf.parallel", "omp.wsloop"):
+        raise KernelUnsupported(f"'{op.name}' is not a vectorizable loop nest")
+    rank = int(op.get_attr("rank").value)  # type: ignore[union-attr]
+    bounds = [
+        (op.operands[d], op.operands[rank + d], op.operands[2 * rank + d])
+        for d in range(rank)
+    ]
+    block = op.regions[0].block
+    ivs = list(block.args)
+
+    while True:
+        ops = block.ops
+        if not ops:
+            raise KernelUnsupported("empty loop body")
+        terminator = ops[-1]
+        if terminator.name not in ("scf.yield", "omp.yield") or terminator.operands:
+            raise KernelUnsupported("loop nest carries values")
+        inner = ops[:-1]
+        if len(inner) == 1 and isinstance(inner[0], scf.ForOp) and not inner[0].results:
+            for_op = inner[0]
+            bounds.append((for_op.operands[0], for_op.operands[1], for_op.operands[2]))
+            block = for_op.regions[0].block
+            ivs.append(block.args[0])
+            continue
+        return bounds, ivs, block
+
+
+def compile_loop_nest(op: Operation) -> CompiledKernel:
+    """Compile an ``scf.parallel`` / ``omp.wsloop`` (with perfectly nested
+    inner ``scf.for`` loops) into a whole-array sweep."""
+    bounds, ivs, body = _nest_structure(op)
+    rank = len(bounds)
+    translator = _BodyTranslator(rank)
+    for dim, iv in enumerate(ivs):
+        translator.values[id(iv)] = _Affine(dim, 0)
+
+    # Loop bounds must be defined outside the nest; registering them first
+    # keeps the external vector layout deterministic.  Outer-loop bounds are
+    # root operands; inner scf.for bounds are located through the nest walk,
+    # which _resolve_path replays on cache hits.
+    bound_slots: List[Tuple[int, int, int]] = []
+    for dim, dim_bounds in enumerate(bounds):
+        slots = []
+        for which, value in enumerate(dim_bounds):
+            if translator.values.get(id(value)) is not None:
+                raise KernelUnsupported("loop bound defined inside the nest")
+            if dim < int(op.get_attr("rank").value):  # type: ignore[union-attr]
+                base_rank = int(op.get_attr("rank").value)  # type: ignore[union-attr]
+                path: ExternalPath = ("root", which * base_rank + dim)
+            else:
+                # Bounds of an inner scf.for: find them at runtime by
+                # re-peeling the nest (path kind "for").
+                path = ("for", dim, which)
+            slots.append(translator.external_slot(value, path))
+        bound_slots.append(tuple(slots))
+
+    for op_index, body_op in enumerate(body.ops):
+        translator.current_body_op = (body_op, op_index)
+        name = body_op.name
+        if name in ("scf.yield", "omp.yield"):
+            continue
+        if name == "memref.load":
+            axes = translator.affine_indices(body_op.operands[1:])
+            slot = translator.external_slot(body_op.operands[0], ("body", op_index, 0))
+            translator.loads.append((slot, axes))
+            var = translator.fresh()
+            translator.lines.append(
+                f"{var} = " + translator.slice_code(f"ext[{slot}].data", axes)
+            )
+            translator.values[id(body_op.results[0])] = _Expr(var, is_array=True)
+            continue
+        if name == "memref.store":
+            axes = translator.affine_indices(body_op.operands[2:])
+            if len(axes) != rank:
+                raise KernelUnsupported("store does not cover every loop dimension")
+            slot = translator.external_slot(body_op.operands[1], ("body", op_index, 1))
+            translator.stores.append((slot, axes))
+            value_code, value_is_array = translator.as_code(body_op.operands[0])
+            # The assignment target must stay a plain slice (a transposed
+            # view is not assignable syntax); when the store permutes the
+            # induction variables, transpose the *value* from iv-order into
+            # the target's axis order instead.
+            slices = ", ".join(
+                f"lb[{dim}] + {offset}:ub[{dim}] + {offset}" if offset else
+                f"lb[{dim}]:ub[{dim}]"
+                for dim, offset in axes
+            )
+            order = [dim for dim, _ in axes]
+            if order != sorted(order) and value_is_array:
+                value_code = f"np.transpose({value_code}, {tuple(order)})"
+            translator.lines.append(f"ext[{slot}].data[{slices}] = {value_code}")
+            continue
+        translator.translate_op(body_op)
+
+    if not translator.stores:
+        raise KernelUnsupported("loop nest performs no stores")
+
+    fn, source = _assemble("_nest_kernel", translator.lines)
+    return CompiledKernel(
+        fn, source, rank, translator.loads, translator.stores,
+        translator.external_paths, bound_slots,
+    )
+
+
+# ---------------------------------------------------------------------------
+# stencil.apply compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_apply(op: Operation) -> CompiledKernel:
+    """Compile the body region of a ``stencil.apply`` into one function that
+    computes every result over the whole ``[lb, ub)`` domain per sweep.
+
+    Externals are exactly the apply operands (``!stencil.temp`` values arrive
+    as ``TempValue`` objects; scalars as NumPy scalars).  The kernel returns
+    the list of result arrays, which the interpreter wraps into
+    ``TempValue``s just as the scalar path does.
+    """
+    if op.name != "stencil.apply":
+        raise KernelUnsupported(f"'{op.name}' is not a stencil.apply")
+    block = op.regions[0].block
+    rank = len(op.get_attr("lb").as_tuple())  # type: ignore[union-attr]
+    translator = _BodyTranslator(rank)
+    # Operand order fixes the external layout: slot i <-> operand i, and the
+    # body block args are aliases of those slots.
+    for i, arg in enumerate(block.args):
+        translator.external_slots[id(arg)] = i
+        translator.external_paths.append(("root", i))
+
+    returned: List[SSAValue] = []
+    accessed_slots: List[int] = []
+    for op_index, body_op in enumerate(block.ops):
+        translator.current_body_op = (body_op, op_index)
+        name = body_op.name
+        if name == "stencil.return":
+            returned = list(body_op.operands)
+            continue
+        if name == "stencil.access":
+            temp = body_op.operands[0]
+            slot = translator.external_slots.get(id(temp))
+            if slot is None or slot >= len(block.args):
+                raise KernelUnsupported("stencil.access of a non-operand temp")
+            offset = body_op.get_attr("offset").as_tuple()  # type: ignore[union-attr]
+            if len(offset) != rank:
+                raise KernelUnsupported("stencil.access offset rank mismatch")
+            if slot not in accessed_slots:
+                accessed_slots.append(slot)
+            var = translator.fresh()
+            slices = ", ".join(
+                f"lb[{d}] + {off} - org{slot}[{d}]:ub[{d}] + {off} - org{slot}[{d}]"
+                for d, off in enumerate(offset)
+            )
+            translator.lines.append(f"{var} = arr{slot}[{slices}]")
+            translator.values[id(body_op.results[0])] = _Expr(var, is_array=True)
+            translator.loads.append((slot, tuple(enumerate(offset))))
+            continue
+        if name == "stencil.index":
+            dim = int(body_op.get_attr("dim").value)  # type: ignore[union-attr]
+            translator.values[id(body_op.results[0])] = _Affine(dim, 0)
+            continue
+        translator.translate_op(body_op)
+
+    if not returned:
+        raise KernelUnsupported("stencil.apply body has no stencil.return")
+
+    # Prologue: unpack each accessed temp's array and origin once per sweep.
+    prologue = []
+    for slot in sorted(accessed_slots):
+        prologue.append(f"arr{slot} = ext[{slot}].data")
+        prologue.append(f"org{slot} = ext[{slot}].origin")
+    result_code = ", ".join(translator.as_code(v)[0] for v in returned)
+    translator.lines.append(f"return [{result_code}]")
+
+    fn, source = _assemble("_apply_kernel", prologue + translator.lines)
+    return CompiledKernel(
+        fn, source, rank, translator.loads, stores=(),
+        external_paths=translator.external_paths,
+    )
+
+
+def apply_is_vectorizable(op: Operation) -> bool:
+    """Static analysis used by the transforms layer: can this apply's body be
+    compiled to a whole-array kernel?  (Pure IR check — no runtime values.)
+
+    The result — kernel or failure — is recorded in the process-wide
+    structural cache, so the analysis doubles as *pre-compilation*: a later
+    ``execution_mode="vectorize"`` run of the same stencil starts with a
+    cache hit instead of compiling at first sweep.
+    """
+    key = structural_hash(op)
+    if key not in _SHARED_CACHE:
+        try:
+            _SHARED_CACHE[key] = compile_apply(op)
+        except Exception:
+            _SHARED_CACHE[key] = None
+    return _SHARED_CACHE[key] is not None
+
+
+# ---------------------------------------------------------------------------
+# The compiler facade with its structural-hash kernel cache
+# ---------------------------------------------------------------------------
+
+
+#: Process-wide cache shared across interpreter instances: structural hash ->
+#: CompiledKernel (or None for ops that failed to compile).  Compilation is
+#: deterministic and kernels are bound per-op through external paths, so
+#: sharing across modules is safe.
+_SHARED_CACHE: Dict[str, Optional[CompiledKernel]] = {}
+
+
+class KernelCompiler:
+    """Per-interpreter facade over kernel compilation.
+
+    Two cache levels: an identity memo (``id(op)`` -> :class:`BoundKernel`)
+    that makes the per-sweep lookup a single dict probe, and the structural
+    cache (process-wide by default) so identical stencils compiled into
+    different modules share one kernel.
+    """
+
+    def __init__(self, use_shared_cache: bool = True):
+        # The memo holds a reference to each op so its id() stays valid.
+        self._memo: Dict[int, Tuple[Operation, Optional[BoundKernel]]] = {}
+        self._structural: Dict[str, Optional[CompiledKernel]] = (
+            _SHARED_CACHE if use_shared_cache else {}
+        )
+        self.stats = {"compiled": 0, "cache_hits": 0, "unsupported": 0}
+
+    def kernel_for(self, op: Operation) -> Optional[BoundKernel]:
+        """The compiled kernel bound to ``op``, or None when the op is not
+        vectorizable."""
+        entry = self._memo.get(id(op))
+        if entry is not None:
+            self.stats["cache_hits"] += 1
+            return entry[1]
+        key = structural_hash(op)
+        if key in self._structural:
+            kernel = self._structural[key]
+            self.stats["cache_hits"] += 1
+        else:
+            # Any compile failure — including codegen bugs surfacing as
+            # SyntaxError from exec — must degrade to scalar interpretation,
+            # never crash the run.
+            try:
+                if op.name == "stencil.apply":
+                    kernel = compile_apply(op)
+                else:
+                    kernel = compile_loop_nest(op)
+                self.stats["compiled"] += 1
+            except Exception:
+                kernel = None
+                self.stats["unsupported"] += 1
+            self._structural[key] = kernel
+        bound = None
+        if kernel is not None:
+            try:
+                bound = self._bind(op, kernel)
+            except Exception:
+                self.stats["unsupported"] += 1
+        self._memo[id(op)] = (op, bound)
+        return bound
+
+    @staticmethod
+    def _bind(op: Operation, kernel: CompiledKernel) -> BoundKernel:
+        """Resolve the kernel's external paths against this op instance."""
+        values: List[SSAValue] = []
+        nest = None
+        for path in kernel.external_paths:
+            if path[0] == "root":
+                values.append(op.operands[path[1]])
+            elif path[0] == "for":
+                if nest is None:
+                    nest = _nest_structure(op)
+                _, dim, which = path
+                values.append(nest[0][dim][which])
+            elif op.name == "stencil.apply":
+                # An apply body referencing a value from the enclosing
+                # function: locate it on the body op that uses it.
+                _, op_index, operand_index = path
+                values.append(op.regions[0].block.ops[op_index].operands[operand_index])
+            else:
+                if nest is None:
+                    nest = _nest_structure(op)
+                _, op_index, operand_index = path
+                values.append(nest[2].ops[op_index].operands[operand_index])
+        return BoundKernel(kernel, values)
+
+
+__all__ = [
+    "EXECUTION_MODES",
+    "KernelUnsupported",
+    "CompiledKernel",
+    "BoundKernel",
+    "KernelCompiler",
+    "compile_loop_nest",
+    "compile_apply",
+    "apply_is_vectorizable",
+    "structural_hash",
+]

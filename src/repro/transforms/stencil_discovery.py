@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dialects import arith, fir, math_dialect, stencil
 from ..dialects.func import FuncOp
-from ..ir.attributes import StringAttr
+from ..ir.attributes import StringAttr, UnitAttr
 from ..ir.builder import Builder
 from ..ir.context import Context
 from ..ir.operation import Block, Operation, Region
@@ -566,6 +566,15 @@ class StencilDiscoveryPass(ModulePass):
             [result_temp_type],
             Region([body_block]),
         )
+        # Record whether the body can be compiled to a whole-array kernel
+        # (execution_mode="vectorize"); fusion keeps this metadata intact.
+        # The analysis stores its kernel in the process-wide structural cache,
+        # so this is pre-compilation, not throwaway work: a vectorize-mode
+        # interpreter starts with a cache hit for every tagged stencil.
+        from ..runtime.kernel_compiler import apply_is_vectorizable
+
+        if apply_is_vectorizable(apply_op):
+            apply_op.attributes["stencil.vectorizable"] = UnitAttr()
         generated.append(apply_op)
         generated.append(
             stencil.StoreOp(apply_op.results[0], output_field, candidate.lb, candidate.ub)

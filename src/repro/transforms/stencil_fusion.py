@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..dialects import stencil
 from ..dialects.func import FuncOp
+from ..ir.attributes import UnitAttr
 from ..ir.context import Context
 from ..ir.operation import Block, Operation, Region
 from ..ir.pass_manager import ModulePass, register_pass
@@ -117,6 +118,16 @@ def _fuse_pair(first: stencil.ApplyOp, second: stencil.ApplyOp) -> stencil.Apply
         [r.type for r in first.results] + [r.type for r in second.results],
         Region([fused_block]),
     )
+    # Vectorizability metadata must survive fusion: a fused body built from
+    # two whole-array-compilable bodies is itself compilable (it is the same
+    # op set over the union of the operands), so carry the marker over — and
+    # re-verify against the kernel compiler's static analysis to be safe.
+    if "stencil.vectorizable" in first.attributes and \
+            "stencil.vectorizable" in second.attributes:
+        from ..runtime.kernel_compiler import apply_is_vectorizable
+
+        if apply_is_vectorizable(fused):
+            fused.attributes["stencil.vectorizable"] = UnitAttr()
     # Insert at the position of the *second* apply: every operand of both
     # applies is defined by then.
     block.insert_op_before(fused, second)

@@ -158,3 +158,29 @@ class TestPatternRewriting:
         rewriter = PatternRewriter(target)
         rewriter.insert_op_before(arith.ConstantOp.from_float(0.0))
         assert rewriter.has_done_action
+
+    def test_insert_ops_before_preserves_order(self):
+        """Multi-op inserts must land in sequence order (not reversed):
+        ``insert_ops_before([a, b, c], anchor)`` yields ``a, b, c, anchor``."""
+        module = build_module_with_redundancy()
+        target = next(op for op in module.walk() if isinstance(op, arith.AddfOp))
+        new_ops = [arith.ConstantOp.from_float(float(i)) for i in range(3)]
+        rewriter = PatternRewriter(target)
+        inserted = rewriter.insert_ops_before(new_ops, target)
+        assert inserted == new_ops
+        block = target.parent_block()
+        index = block.index_of(target)
+        assert list(block.ops[index - 3:index]) == new_ops
+        assert [op.literal for op in block.ops[index - 3:index]] == [0.0, 1.0, 2.0]
+        module.verify()
+
+    def test_block_insert_ops_before_preserves_order(self):
+        """The Block-level primitive used by the rewriter keeps order too."""
+        module = build_module_with_redundancy()
+        target = next(op for op in module.walk() if isinstance(op, arith.AddfOp))
+        block = target.parent_block()
+        new_ops = [arith.ConstantOp.from_float(float(10 + i)) for i in range(3)]
+        block.insert_ops_before(new_ops, target)
+        index = block.index_of(target)
+        assert [op.literal for op in block.ops[index - 3:index]] == [10.0, 11.0, 12.0]
+        module.verify()
