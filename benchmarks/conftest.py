@@ -7,7 +7,22 @@ conftest) to run them.  Plain assertion tests — e.g. the vectorized-mode
 speedup checks — always run.
 """
 
+import os
 import pathlib
+
+# Pin library-internal threading to one thread BEFORE NumPy (and through it
+# OpenBLAS/MKL) is imported — these libraries read the variables once at load
+# time.  Single-thread baselines must not be silently accelerated by a
+# threaded BLAS, or every measured tiled-parallel speedup in this tree would
+# be polluted.  setdefault keeps an explicit operator override working.
+for _var in (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+):
+    os.environ.setdefault(_var, "1")
 
 import numpy as np
 import pytest

@@ -8,10 +8,12 @@ optimised (vectorised) stencil execution path.
 
 Usage::
 
-    PYTHONPATH=src python examples/quickstart.py [--execution-mode MODE]
+    PYTHONPATH=src python examples/quickstart.py [--execution-mode MODE] [--threads N]
 
 where MODE is ``interpret`` (scalar oracle, the default), ``vectorize``
 (compiled NumPy whole-array kernels) or ``crosscheck`` (run both, compare).
+``--threads N`` (with vectorize/crosscheck) executes each compiled sweep as
+tiles of its outermost dimension on a persistent N-worker thread pool.
 """
 
 import argparse
@@ -36,12 +38,17 @@ end subroutine average
 """
 
 
-def main(execution_mode: str = "interpret") -> float:
+def main(execution_mode: str = "interpret", threads: int = 1) -> float:
     # 1. Compile: Fortran -> FIR -> stencil discovery -> extraction.
     result = compile_fortran(
-        FORTRAN_SOURCE, Target.STENCIL_CPU, execution_mode=execution_mode
+        FORTRAN_SOURCE, Target.STENCIL_CPU, execution_mode=execution_mode,
+        threads=threads,
     )
-    print(f"execution mode      : {execution_mode}")
+    print(f"execution mode      : {execution_mode} (threads={threads})")
+    if threads > 1 and execution_mode == "interpret":
+        print("note: --threads only affects compiled sweeps; the scalar "
+              "'interpret' mode runs single-threaded "
+              "(use --execution-mode vectorize or crosscheck)")
     print(f"discovered stencils : {result.discovered_stencils}")
     print(f"extracted functions : {result.extracted_functions}")
 
@@ -72,4 +79,11 @@ if __name__ == "__main__":
         default="interpret",
         help="how the interpreter executes the extracted stencil",
     )
-    main(parser.parse_args().execution_mode)
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="worker threads for tiled parallel execution of compiled sweeps",
+    )
+    args = parser.parse_args()
+    main(args.execution_mode, threads=args.threads)

@@ -23,6 +23,7 @@ from .runtime.gpu_runtime import SimulatedGPU
 from .runtime.interpreter import Interpreter
 from .runtime.kernel_compiler import EXECUTION_MODES
 from .runtime.mpi_runtime import CartesianDecomposition, SimulatedCommunicator
+from .runtime.parallel_executor import SCHEDULE_KINDS
 from .transforms import pipelines
 from .transforms.distributed import ConvertDMPToMPIPass, ConvertStencilToDMPPass
 from .transforms.gpu_data_management import GpuHostRegisterPass, GpuOptimisedDataPass
@@ -53,6 +54,15 @@ class CompilerOptions:
     gpu_data_strategy: str = "optimised"
     #: OpenMP thread count recorded in the lowered module (cost model input).
     num_threads: Optional[int] = None
+    #: Worker threads the interpreter's tiled parallel executor uses for
+    #: vectorized sweeps (1 = single-tile execution).  Unlike ``num_threads``
+    #: this changes *real* execution, not the analytic model.
+    threads: int = 1
+    #: OpenMP worksharing schedule clause recorded on each ``omp.wsloop`` by
+    #: ``convert-scf-to-openmp`` and honoured by the tiled executor:
+    #: "static", "dynamic" or "guided", with an optional chunk size.
+    omp_schedule: str = "static"
+    omp_chunk_size: Optional[int] = None
     #: Process grid for the DMP target, e.g. (4, 4).
     grid: Tuple[int, ...] = (1, 1)
     #: GPU tile sizes (paper Listing 4 uses 32,32,1).
@@ -72,6 +82,17 @@ class CompilerOptions:
             raise ValueError(
                 f"execution_mode must be one of {EXECUTION_MODES}, "
                 f"got {self.execution_mode!r}"
+            )
+        if self.omp_schedule not in SCHEDULE_KINDS:
+            raise ValueError(
+                f"omp_schedule must be one of {SCHEDULE_KINDS}, "
+                f"got {self.omp_schedule!r}"
+            )
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.omp_chunk_size is not None and self.omp_chunk_size <= 0:
+            raise ValueError(
+                f"omp_chunk_size must be positive, got {self.omp_chunk_size}"
             )
 
 
@@ -101,14 +122,17 @@ class CompilationResult:
         rank: int = 0,
         decomposition: Optional[CartesianDecomposition] = None,
         execution_mode: Optional[str] = None,
+        threads: Optional[int] = None,
     ) -> Interpreter:
         """Build an interpreter with the FIR and stencil modules linked.
-        ``execution_mode`` overrides the compile-time option when given."""
+        ``execution_mode`` and ``threads`` override the compile-time options
+        when given."""
         if gpu is None and self.options.target is Target.STENCIL_GPU:
             gpu = SimulatedGPU()
         return Interpreter(
             self.modules, gpu=gpu, comm=comm, rank=rank, decomposition=decomposition,
             execution_mode=execution_mode or self.options.execution_mode,
+            threads=threads if threads is not None else self.options.threads,
         )
 
     def run(self, entry: str, *args, **kwargs):
@@ -170,7 +194,12 @@ class CompilerDriver:
                 self._run(stencil_module, pipelines.GPU_STENCIL_PIPELINE, result)
         elif options.target is Target.STENCIL_OPENMP:
             if options.lower_to_scf:
-                self._run(stencil_module, pipelines.OPENMP_PIPELINE, result)
+                self._run(
+                    stencil_module,
+                    pipelines.openmp_pipeline(options.omp_schedule,
+                                              options.omp_chunk_size),
+                    result,
+                )
         elif options.target is Target.STENCIL_DMP:
             dmp_pass = ConvertStencilToDMPPass(grid=options.grid)
             dmp_pass.apply(self.ctx, stencil_module)

@@ -11,14 +11,16 @@ from .experiments import (
     figure6_distributed,
     fusion_ablation,
     gpu_data_ablation,
+    measured_openmp_scaling,
 )
-from .reporting import format_table, run_all
+from .reporting import format_table, kernel_stats_table, run_all
 
 __all__ = [
     "ExperimentResult",
     "figure2_single_core",
     "figure3_openmp_gauss_seidel",
     "figure4_openmp_pw_advection",
+    "measured_openmp_scaling",
     "figure5_gpu",
     "figure6_distributed",
     "gpu_data_ablation",
@@ -26,5 +28,6 @@ __all__ = [
     "distributed_functional_check",
     "ALL_EXPERIMENTS",
     "format_table",
+    "kernel_stats_table",
     "run_all",
 ]

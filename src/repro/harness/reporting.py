@@ -38,6 +38,32 @@ def format_table(result: "ExperimentResult") -> str:
     return "\n".join(lines)
 
 
+def kernel_stats_table(kernels) -> str:
+    """Render a :class:`repro.runtime.KernelCompiler`'s per-kernel runtime
+    statistics (``kernels.stats["per_kernel"]``: invocation counts and
+    cumulative wall time recorded by the interpreter around every vectorized
+    sweep) as an aligned text table, slowest kernels first."""
+    from .experiments import ExperimentResult
+
+    result = ExperimentResult(
+        experiment="kernel_stats",
+        description="per-kernel runtime statistics",
+        columns=("kernel", "invocations", "total_s", "mean_ms"),
+    )
+    per_kernel = dict(kernels.stats.get("per_kernel", {}))
+    for label, entry in sorted(per_kernel.items(),
+                               key=lambda item: -item[1]["seconds"]):
+        invocations = int(entry["invocations"])
+        seconds = float(entry["seconds"])
+        # Pre-formatted strings: sweep times are often sub-millisecond, below
+        # format_table's generic two-decimal float rendering.
+        result.add(label, invocations, f"{seconds:.4f}",
+                   f"{seconds / invocations * 1e3:.3f}" if invocations else "-")
+    if not result.rows:
+        result.notes["empty"] = "no kernels executed"
+    return format_table(result)
+
+
 def run_all(names: Iterable[str] = ()) -> str:
     """Run the requested experiments (all by default) and return their tables."""
     from .experiments import ALL_EXPERIMENTS
@@ -49,4 +75,4 @@ def run_all(names: Iterable[str] = ()) -> str:
     return "\n\n".join(sections)
 
 
-__all__ = ["format_table", "run_all"]
+__all__ = ["format_table", "kernel_stats_table", "run_all"]

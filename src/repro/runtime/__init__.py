@@ -12,6 +12,13 @@ from .kernel_compiler import (
 )
 from .memory import ElementRef, MemoryBuffer, numpy_dtype_for
 from .mpi_runtime import CartesianDecomposition, MPIError, SimulatedCommunicator
+from .parallel_executor import (
+    SCHEDULE_KINDS,
+    ParallelExecutor,
+    get_executor,
+    plan_tiles,
+    tree_combine,
+)
 
 __all__ = [
     "Interpreter",
@@ -34,4 +41,9 @@ __all__ = [
     "SimulatedCommunicator",
     "CartesianDecomposition",
     "MPIError",
+    "ParallelExecutor",
+    "SCHEDULE_KINDS",
+    "plan_tiles",
+    "tree_combine",
+    "get_executor",
 ]

@@ -26,11 +26,13 @@ integration tests.
 from __future__ import annotations
 
 import math as _pymath
+import time as _time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..dialects import fir as fir_dialect
+from ..dialects import omp as omp_dialect
 from ..dialects import stencil as stencil_dialect
 from ..dialects.builtin import ModuleOp
 from ..dialects.func import FuncOp
@@ -48,6 +50,7 @@ from .gpu_runtime import SimulatedGPU
 from .kernel_compiler import EXECUTION_MODES, KernelCompiler
 from .memory import ElementRef, MemoryBuffer, numpy_dtype_for
 from .mpi_runtime import CartesianDecomposition, SimulatedCommunicator
+from .parallel_executor import ParallelExecutor, get_executor, plan_tiles
 
 
 class InterpreterError(Exception):
@@ -124,6 +127,8 @@ class Interpreter:
         decomposition: Optional[CartesianDecomposition] = None,
         execution_mode: str = "interpret",
         kernel_compiler: Optional[KernelCompiler] = None,
+        threads: int = 1,
+        parallel_executor: Optional[ParallelExecutor] = None,
     ):
         if isinstance(modules, ModuleOp):
             modules = [modules]
@@ -145,6 +150,18 @@ class Interpreter:
         self.kernels = kernel_compiler if kernel_compiler is not None else (
             KernelCompiler() if execution_mode != "interpret" else None
         )
+        #: Worker threads for tiled sweep execution (1 = single-tile).  The
+        #: executor is the persistent process-wide pool for that count unless
+        #: an explicit one is injected; pure "interpret" mode never tiles, so
+        #: it never touches (or creates) a pool.
+        self.threads = max(1, int(threads))
+        if parallel_executor is not None:
+            self._executor: Optional[ParallelExecutor] = parallel_executor
+            self.threads = max(self.threads, parallel_executor.threads)
+        elif self.threads > 1 and execution_mode != "interpret":
+            self._executor = get_executor(self.threads)
+        else:
+            self._executor = None
         self.stats: Dict[str, float] = {
             "stencil_apply_executions": 0,
             "stencil_points_computed": 0,
@@ -156,6 +173,9 @@ class Interpreter:
             "mpi_bytes": 0,
             "vectorized_sweeps": 0,
             "vectorize_fallbacks": 0,
+            "parallel_sweeps": 0,
+            "parallel_tiles": 0,
+            "parallel_fallbacks": 0,
         }
         self._functions: Dict[str, FuncOp] = {}
         self._gpu_kernels: Dict[str, Operation] = {}
@@ -711,20 +731,74 @@ class Interpreter:
             return False
         if any(u <= l for l, u in zip(lowers, uppers)):
             return True  # empty iteration space: nothing to execute
+        schedule, chunk = self._nest_schedule(op)
+
+        def vector_runner() -> None:
+            self._run_nest_kernel(kernel, externals, lowers, uppers,
+                                  schedule, chunk)
+
         if self.execution_mode == "crosscheck":
-            self._crosscheck_nest(kernel, externals, lowers, uppers, scalar_runner)
+            self._crosscheck_nest(kernel, externals, vector_runner, scalar_runner)
         else:
-            kernel.fn(externals, lowers, uppers)
+            vector_runner()
         self.stats["vectorized_sweeps"] += 1
         return True
 
-    def _crosscheck_nest(self, kernel, externals, lowers, uppers,
+    @staticmethod
+    def _nest_schedule(op: Operation) -> Tuple[str, Optional[int]]:
+        """The worksharing schedule clause recorded on the nest (static for
+        plain scf.parallel, which carries no clause)."""
+        if isinstance(op, omp_dialect.WsLoopOp):
+            return op.schedule, op.chunk_size
+        return "static", None
+
+    def _run_nest_kernel(self, kernel, externals, lowers, uppers,
+                         schedule: str = "static",
+                         chunk: Optional[int] = None) -> None:
+        """One sweep of a compiled nest kernel: tiled across the persistent
+        thread pool when a multi-thread executor is configured and the kernel
+        is provably tile-safe, single whole-domain invocation otherwise.
+
+        Tiling partitions dimension 0 — the outermost parallel dimension of
+        the source ``scf.parallel`` / ``omp.wsloop``.  A kernel whose runtime
+        guards passed writes each tile's stores into disjoint slabs (no
+        load/store aliasing, store-store aliasing only through identical
+        index maps), so tiles may run concurrently; any kernel that cannot
+        show a store on every tile falls back to the single-tile path and is
+        counted in ``stats["parallel_fallbacks"]``.
+        """
+        start = _time.perf_counter()
+        tiles = None
+        if self._executor is not None and self.threads > 1:
+            if kernel.stores and all(
+                any(dim == 0 for dim, _ in axes) for _, axes in kernel.stores
+            ):
+                tiles = plan_tiles(lowers[0], uppers[0], self.threads,
+                                   schedule, chunk)
+        if tiles is not None and len(tiles) > 1:
+            def run_tile(tile: Tuple[int, int]) -> None:
+                kernel.fn(externals, [tile[0]] + list(lowers[1:]),
+                          [tile[1]] + list(uppers[1:]))
+
+            self._executor.run_tiles(run_tile, tiles)
+            self.stats["parallel_sweeps"] += 1
+            self.stats["parallel_tiles"] += len(tiles)
+        else:
+            if self.threads > 1:
+                self.stats["parallel_fallbacks"] += 1
+            kernel.fn(externals, lowers, uppers)
+        if self.kernels is not None and kernel.label:
+            self.kernels.record_invocation(kernel.label,
+                                           _time.perf_counter() - start)
+
+    def _crosscheck_nest(self, kernel, externals,
+                         vector_runner: Callable[[], None],
                          scalar_runner: Callable[[], None]) -> None:
-        """Run the compiled kernel AND the scalar oracle; raise on divergence.
-        Leaves the oracle's results in memory."""
+        """Run the compiled kernel (tiled when threads > 1) AND the scalar
+        oracle; raise on divergence.  Leaves the oracle's results in memory."""
         targets = kernel.store_targets(externals)
         before = [t.copy() for t in targets]
-        kernel.fn(externals, lowers, uppers)
+        vector_runner()
         vectorized = [t.copy() for t in targets]
         for target, saved in zip(targets, before):
             np.copyto(target, saved)
@@ -764,7 +838,7 @@ class Interpreter:
         if not kernel.apply_guards_pass(externals, lb, ub):
             self.stats["vectorize_fallbacks"] += 1
             return None
-        results = kernel.fn(externals, lb, ub)
+        results = self._run_apply_kernel(kernel, externals, lb, ub)
         if self.execution_mode == "crosscheck":
             reference = self._run_apply_scalar(op, frame, lb, ub)
             for vec, ref in zip(results, reference):
@@ -777,6 +851,71 @@ class Interpreter:
                     )
         self.stats["vectorized_sweeps"] += 1
         return results
+
+    def _run_apply_kernel(self, kernel, externals, lb: Tuple[int, ...],
+                          ub: Tuple[int, ...]) -> List[object]:
+        """One sweep of a compiled apply kernel, tiled along dimension 0
+        across the thread pool when possible.
+
+        Apply kernels are pure (no stores), so tiles need no disjointness
+        argument: each computes its slab of every result and the slabs are
+        assembled by one concatenation per result in tile order (exact and
+        deterministic; the pairwise :func:`tree_combine` exists for genuinely
+        non-associative reduction partials, where concatenating once would
+        not apply).  Tiling requires every returned value to be a
+        whole-domain array (known statically) whose leading axis actually
+        spans the tile — a result
+        that broadcasts along dimension 0 (e.g. built purely from
+        ``stencil.index`` of another dimension) would assemble wrongly, so
+        such sweeps recompute on the single-tile path instead, counted in
+        ``stats["parallel_fallbacks"]``.  Generated arrays either span dim 0
+        fully or have size 1 there, so the per-tile shape check below
+        separates the two — provided every tile spans at least 2 rows (at
+        tile extent 1 the sizes coincide), which the plan must satisfy.
+        """
+        start = _time.perf_counter()
+        tiles = None
+        if (
+            self._executor is not None
+            and self.threads > 1
+            and kernel.tileable
+            and kernel.result_is_array
+            and all(kernel.result_is_array)
+        ):
+            tiles = plan_tiles(lb[0], ub[0], self.threads)
+            if any(tile_ub - tile_lb < 2 for tile_lb, tile_ub in tiles):
+                tiles = None
+        try:
+            if tiles is None or len(tiles) <= 1:
+                if self.threads > 1:
+                    self.stats["parallel_fallbacks"] += 1
+                return kernel.fn(externals, lb, ub)
+
+            def run_tile(tile: Tuple[int, int]) -> List[object]:
+                return kernel.fn(externals, (tile[0],) + tuple(lb[1:]),
+                                 (tile[1],) + tuple(ub[1:]))
+
+            partials = self._executor.map_tiles(run_tile, tiles)
+            for tile, partial in zip(tiles, partials):
+                if any(np.ndim(value) == 0 or np.shape(value)[0] != tile[1] - tile[0]
+                       for value in partial):
+                    # A result broadcasts along dim 0: slabs cannot be
+                    # stacked.  Recompute whole-domain (kernels are pure)
+                    # and remember the refusal — the shape defect is
+                    # structural, so later sweeps skip straight here.
+                    kernel.tileable = False
+                    self.stats["parallel_fallbacks"] += 1
+                    return kernel.fn(externals, lb, ub)
+            self.stats["parallel_sweeps"] += 1
+            self.stats["parallel_tiles"] += len(tiles)
+            return [
+                np.concatenate([partial[i] for partial in partials], axis=0)
+                for i in range(len(partials[0]))
+            ]
+        finally:
+            if self.kernels is not None and kernel.label:
+                self.kernels.record_invocation(kernel.label,
+                                               _time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # stencil handlers (vectorised execution)

@@ -89,7 +89,10 @@ class KernelUnsupported(Exception):
 #: Attributes that carry metadata about an op rather than defining its
 #: semantics; excluded from the structural hash so tagging an op (e.g. with
 #: stencil.vectorizable after analysis) does not invalidate its cache entry.
-_METADATA_ATTRS = frozenset({"stencil.vectorizable"})
+#: The omp schedule clause is an execution *policy* — two wsloops differing
+#: only in schedule compute the same function and share one kernel; the
+#: interpreter reads the policy off the op at dispatch time.
+_METADATA_ATTRS = frozenset({"stencil.vectorizable", "omp.schedule", "omp.chunk_size"})
 
 
 def structural_hash(op: Operation) -> str:
@@ -276,6 +279,7 @@ class CompiledKernel:
         stores: Sequence[Tuple[int, Tuple[Tuple[int, int], ...]]],
         external_paths: Sequence[ExternalPath],
         bound_slots: Sequence[Tuple[int, int, int]] = (),
+        result_is_array: Sequence[bool] = (),
     ):
         self.fn = fn
         self.source = source
@@ -284,6 +288,16 @@ class CompiledKernel:
         self.stores = tuple(stores)
         self.external_paths = tuple(external_paths)
         self.bound_slots = tuple(bound_slots)
+        #: For apply kernels: which returned values are whole-domain arrays
+        #: (only those can be slab-assembled by the tiled executor).
+        self.result_is_array = tuple(result_is_array)
+        #: Stable display name (op name + structural-hash prefix), set by
+        #: KernelCompiler.kernel_for; keys the per-kernel runtime statistics.
+        self.label = ""
+        #: Cleared by the tiled executor when a sweep shows a result that
+        #: broadcasts along dim 0 (a structural property, so the refusal
+        #: holds for every later sweep of this — possibly shared — kernel).
+        self.tileable = True
 
     # -- runtime guards ----------------------------------------------------
 
@@ -776,13 +790,15 @@ def compile_apply(op: Operation) -> CompiledKernel:
     for slot in sorted(accessed_slots):
         prologue.append(f"arr{slot} = ext[{slot}].data")
         prologue.append(f"org{slot} = ext[{slot}].origin")
-    result_code = ", ".join(translator.as_code(v)[0] for v in returned)
+    rendered = [translator.as_code(v) for v in returned]
+    result_code = ", ".join(code for code, _ in rendered)
     translator.lines.append(f"return [{result_code}]")
 
     fn, source = _assemble("_apply_kernel", prologue + translator.lines)
     return CompiledKernel(
         fn, source, rank, translator.loads, stores=(),
         external_paths=translator.external_paths,
+        result_is_array=[is_array for _, is_array in rendered],
     )
 
 
@@ -831,7 +847,19 @@ class KernelCompiler:
         self._structural: Dict[str, Optional[CompiledKernel]] = (
             _SHARED_CACHE if use_shared_cache else {}
         )
-        self.stats = {"compiled": 0, "cache_hits": 0, "unsupported": 0}
+        #: Counters plus a per-kernel breakdown: ``stats["per_kernel"]`` maps
+        #: each kernel label to its invocation count and cumulative wall time
+        #: (seconds) as recorded by the interpreter around every sweep.
+        self.stats: Dict[str, object] = {
+            "compiled": 0, "cache_hits": 0, "unsupported": 0, "per_kernel": {},
+        }
+
+    def record_invocation(self, label: str, seconds: float) -> None:
+        """Accumulate one sweep's wall time against the kernel's label."""
+        per_kernel: Dict[str, Dict[str, float]] = self.stats["per_kernel"]  # type: ignore[assignment]
+        entry = per_kernel.setdefault(label, {"invocations": 0, "seconds": 0.0})
+        entry["invocations"] += 1
+        entry["seconds"] += seconds
 
     def kernel_for(self, op: Operation) -> Optional[BoundKernel]:
         """The compiled kernel bound to ``op``, or None when the op is not
@@ -858,6 +886,8 @@ class KernelCompiler:
                 kernel = None
                 self.stats["unsupported"] += 1
             self._structural[key] = kernel
+        if kernel is not None and not kernel.label:
+            kernel.label = f"{op.name}@{key[:10]}"
         bound = None
         if kernel is not None:
             try:

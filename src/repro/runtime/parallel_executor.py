@@ -1,0 +1,195 @@
+"""Multi-core tiled execution of compiled kernels.
+
+The PR 1 kernel compiler turns a lowered ``scf.parallel`` / ``omp.wsloop``
+nest (or a ``stencil.apply`` body) into one NumPy whole-array sweep.  This
+module makes such sweeps use more than one core: the sweep's domain is
+partitioned along its **outermost parallel dimension** into tiles and the
+tiles run concurrently on a persistent :class:`ThreadPoolExecutor`.  NumPy
+releases the GIL for large slice operations, so real in-process speedup is
+achievable without multiprocessing.
+
+Three pieces, each independently testable:
+
+* :func:`plan_tiles` — turns ``[lower, upper)`` plus an OpenMP schedule
+  (kind + chunk size, as carried on ``omp.wsloop`` by
+  ``convert-scf-to-openmp``) into a list of contiguous, disjoint
+  ``(lb, ub)`` tiles that exactly cover the extent;
+* :class:`ParallelExecutor` — a persistent worker pool executing tile
+  closures and combining per-tile partial results;
+* :func:`tree_combine` — deterministic pairwise (binary-tree) combination
+  of per-tile partials in **tile order**, so floating-point reductions give
+  the same bits on every run regardless of which tile finishes first.
+  (Nests carrying reduction values are currently refused by the kernel
+  compiler and run scalar; this is the designated combiner for when they
+  become vectorizable.)
+
+Safety is the caller's job and the caller can afford it: a nest kernel that
+passed :meth:`CompiledKernel.guards_pass` has unit steps, in-bounds windows,
+no load/store aliasing and only same-array/same-index-map store pairs — so
+tiles that partition dimension 0 write provably disjoint slabs (exactly the
+guarantee ``scf.parallel`` iteration independence gives).  Anything weaker
+must stay on the single-tile path; :class:`repro.runtime.Interpreter` counts
+those refusals in ``stats["parallel_fallbacks"]``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Schedule kinds understood by :func:`plan_tiles` (OpenMP worksharing-loop
+#: schedule clause subset; "auto"/"runtime" map to "static" upstream).
+SCHEDULE_KINDS = ("static", "dynamic", "guided")
+
+
+def plan_tiles(
+    lower: int,
+    upper: int,
+    threads: int,
+    schedule: str = "static",
+    chunk: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """Partition ``[lower, upper)`` into contiguous ``(lb, ub)`` tiles.
+
+    The tiles are returned in domain order, are mutually disjoint, and their
+    union is exactly ``[lower, upper)``.  ``schedule`` follows the OpenMP
+    clause semantics as far as a shared task queue needs them:
+
+    * ``static`` without a chunk: one near-equal contiguous block per
+      thread (OpenMP's default static partition);
+    * ``static`` with a chunk / ``dynamic``: fixed ``chunk``-sized tiles —
+      on a work-queue pool the static round-robin assignment and the
+      dynamic first-come assignment execute the same tile set, the pool
+      supplying the load balancing;
+    * ``guided``: exponentially decreasing tile sizes
+      ``max(chunk, remaining / threads)``, front-loading large tiles.
+
+    ``dynamic`` without an explicit chunk uses ``extent // (8 * threads)``
+    (clamped to 1) rather than OpenMP's default of 1, which on a NumPy
+    backend would shred the sweep into per-row tasks whose dispatch overhead
+    swamps the kernel.
+    """
+    extent = upper - lower
+    if extent <= 0:
+        return []
+    threads = max(1, threads)
+    if schedule not in SCHEDULE_KINDS:
+        raise ValueError(
+            f"unknown schedule kind '{schedule}'; expected one of {SCHEDULE_KINDS}"
+        )
+    if chunk is not None and chunk <= 0:
+        raise ValueError(f"chunk size must be positive, got {chunk}")
+
+    if schedule == "static" and chunk is None:
+        tiles_wanted = min(threads, extent)
+        base, remainder = divmod(extent, tiles_wanted)
+        tiles: List[Tuple[int, int]] = []
+        position = lower
+        for i in range(tiles_wanted):
+            size = base + (1 if i < remainder else 0)
+            tiles.append((position, position + size))
+            position += size
+        return tiles
+
+    if schedule == "guided":
+        minimum = chunk if chunk is not None else 1
+        tiles = []
+        position = lower
+        while position < upper:
+            remaining = upper - position
+            size = max(minimum, -(-remaining // threads))
+            size = min(size, remaining)
+            tiles.append((position, position + size))
+            position += size
+        return tiles
+
+    # static-with-chunk and dynamic: fixed-size chunks.
+    if chunk is None:
+        chunk = max(1, extent // (8 * threads))
+    return [(p, min(p + chunk, upper)) for p in range(lower, upper, chunk)]
+
+
+def tree_combine(partials: Sequence[object], combine: Callable) -> object:
+    """Combine per-tile partials pairwise in tile order.
+
+    The combination tree depends only on ``len(partials)`` — never on
+    completion order — so non-associative combiners (floating-point sums)
+    are bit-reproducible across runs and thread counts with the same tile
+    plan.  ``combine(left, right)`` must accept two partials with ``left``
+    from earlier tiles than ``right``.
+    """
+    if not partials:
+        raise ValueError("tree_combine needs at least one partial")
+    level = list(partials)
+    while len(level) > 1:
+        level = [
+            combine(level[i], level[i + 1]) if i + 1 < len(level) else level[i]
+            for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+class ParallelExecutor:
+    """A persistent thread pool executing tile closures.
+
+    One instance serves any number of sweeps (and interpreters): worker
+    threads are created lazily by the underlying pool and reused, so the
+    per-sweep cost is task dispatch only, not thread creation.  Exceptions
+    raised inside a tile propagate to the caller of :meth:`map_tiles`.
+    """
+
+    def __init__(self, threads: int):
+        if threads < 1:
+            raise ValueError(f"thread count must be >= 1, got {threads}")
+        self.threads = threads
+        self._pool = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="repro-tile"
+        )
+
+    def map_tiles(self, fn: Callable, tiles: Sequence) -> List[object]:
+        """Run ``fn(tile)`` for every tile concurrently; return the results
+        **in tile order** (not completion order)."""
+        if len(tiles) == 1:  # no dispatch overhead for degenerate plans
+            return [fn(tiles[0])]
+        futures = [self._pool.submit(fn, tile) for tile in tiles]
+        return [future.result() for future in futures]
+
+    def run_tiles(self, fn: Callable, tiles: Sequence) -> None:
+        """:meth:`map_tiles` for side-effecting tile closures."""
+        self.map_tiles(fn, tiles)
+
+    def map_reduce(self, fn: Callable, tiles: Sequence, combine: Callable) -> object:
+        """Run ``fn`` over every tile and :func:`tree_combine` the partials."""
+        return tree_combine(self.map_tiles(fn, tiles), combine)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ParallelExecutor threads={self.threads}>"
+
+
+#: Process-wide executor cache: interpreters asking for the same thread count
+#: share one pool, keeping the total thread population bounded.
+_EXECUTORS: Dict[int, ParallelExecutor] = {}
+_EXECUTORS_LOCK = threading.Lock()
+
+
+def get_executor(threads: int) -> ParallelExecutor:
+    """The shared persistent executor for ``threads`` workers."""
+    with _EXECUTORS_LOCK:
+        executor = _EXECUTORS.get(threads)
+        if executor is None:
+            executor = ParallelExecutor(threads)
+            _EXECUTORS[threads] = executor
+        return executor
+
+
+__all__ = [
+    "SCHEDULE_KINDS",
+    "plan_tiles",
+    "tree_combine",
+    "ParallelExecutor",
+    "get_executor",
+]

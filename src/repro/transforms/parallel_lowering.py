@@ -35,12 +35,27 @@ from ..ir.types import index
 
 @register_pass
 class ConvertSCFToOpenMPPass(ModulePass):
-    """``convert-scf-to-openmp`` — multithreaded CPU execution (Figures 3/4)."""
+    """``convert-scf-to-openmp`` — multithreaded CPU execution (Figures 3/4).
+
+    ``schedule`` / ``chunk_size`` mirror the OpenMP worksharing schedule
+    clause (``schedule(static|dynamic|guided[, chunk])``); they are recorded
+    on each ``omp.wsloop`` and consumed by the runtime's tiled parallel
+    executor when it partitions the outermost loop dimension across threads.
+    Pipeline syntax: ``convert-scf-to-openmp{schedule=dynamic chunk-size=4}``.
+    """
 
     name = "convert-scf-to-openmp"
 
-    def __init__(self, num_threads: Optional[int] = None):
+    def __init__(self, num_threads: Optional[int] = None,
+                 schedule: str = "static", chunk_size: Optional[int] = None):
+        if schedule not in omp.WsLoopOp.SCHEDULE_KINDS:
+            raise ValueError(
+                f"schedule must be one of {omp.WsLoopOp.SCHEDULE_KINDS}, "
+                f"got {schedule!r}"
+            )
         self.num_threads = num_threads
+        self.schedule = schedule
+        self.chunk_size = chunk_size
 
     def apply(self, ctx: Context, module: Operation) -> None:
         for parallel in [op for op in module.walk() if isinstance(op, scf.ParallelOp)]:
@@ -66,6 +81,8 @@ class ConvertSCFToOpenMPPass(ModulePass):
             list(parallel.upper_bounds),
             list(parallel.steps),
             body=parallel.regions[0].clone(),
+            schedule=self.schedule,
+            chunk_size=self.chunk_size,
         )
         # Replace the scf.yield terminator with omp.yield in the moved body.
         ws_body = wsloop.body.block

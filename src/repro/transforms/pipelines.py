@@ -35,12 +35,24 @@ CPU_PIPELINE = (
     "canonicalize,cse"
 )
 
-#: Stencil module lowering for multi-threaded CPU execution (OpenMP).
-OPENMP_PIPELINE = (
-    "convert-stencil-to-scf{target=cpu},"
-    "convert-scf-to-openmp,"
-    "canonicalize,cse"
-)
+def openmp_pipeline(schedule: str = "static",
+                    chunk_size: Optional[int] = None) -> str:
+    """The OpenMP lowering pipeline with an explicit worksharing schedule
+    clause, e.g. ``openmp_pipeline("dynamic", 4)`` →
+    ``...,convert-scf-to-openmp{schedule=dynamic chunk-size=4},...``."""
+    options = f"schedule={schedule}"
+    if chunk_size is not None:
+        options += f" chunk-size={int(chunk_size)}"
+    return (
+        "convert-stencil-to-scf{target=cpu},"
+        f"convert-scf-to-openmp{{{options}}},"
+        "canonicalize,cse"
+    )
+
+
+#: Stencil module lowering for multi-threaded CPU execution (OpenMP), with
+#: the default (static) worksharing schedule.
+OPENMP_PIPELINE = openmp_pipeline()
 
 #: The paper's GPU pipeline (Listing 4), flattened: tiling, GPU mapping,
 #: kernel outlining, memref/arith/scf lowering stand-ins and cast reconciliation.
@@ -96,6 +108,7 @@ __all__ = [
     "FIR_STENCIL_PIPELINE",
     "CPU_PIPELINE",
     "OPENMP_PIPELINE",
+    "openmp_pipeline",
     "GPU_PIPELINE",
     "GPU_STENCIL_PIPELINE",
     "DMP_PIPELINE",

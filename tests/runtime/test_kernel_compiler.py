@@ -174,7 +174,9 @@ class TestKernelCache:
         parallel = next(op for op in fn.walk() if isinstance(op, scf.ParallelOp))
         first = compiler.kernel_for(parallel)
         assert first is not None
-        assert compiler.stats == {"compiled": 1, "cache_hits": 0, "unsupported": 0}
+        assert compiler.stats["compiled"] == 1
+        assert compiler.stats["cache_hits"] == 0
+        assert compiler.stats["unsupported"] == 0
         again = compiler.kernel_for(parallel)
         assert again is first
         assert compiler.stats["cache_hits"] == 1

@@ -1,0 +1,396 @@
+"""Tests for the multi-core tiled kernel execution engine.
+
+Four contract areas of ``repro.runtime.parallel_executor`` and its
+interpreter wiring:
+
+* **tile planning** — every schedule kind produces contiguous disjoint tiles
+  that exactly cover the extent;
+* **deterministic reduction** — per-tile partials combine in a tile-order
+  binary tree, independent of completion order;
+* **dispatch and fallbacks** — tiled sweeps produce the oracle's results;
+  refused tilings (no full-rank store, broadcast apply results, extent too
+  small) fall back to the single-tile path and are counted; the dynamic
+  alias guard still catches overlapping NumPy views of one base array;
+* **plumbing** — the schedule clause rides ``omp.wsloop`` from
+  ``convert-scf-to-openmp`` without splitting the kernel cache, and the
+  ``threads=`` knob reaches the interpreter through ``CompilerOptions``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps import gauss_seidel
+from repro.compiler import CompilerOptions, Target, compile_fortran
+from repro.dialects import arith, omp, stencil
+from repro.dialects.builtin import ModuleOp
+from repro.ir import Builder
+from repro.ir.operation import VerifyException
+from repro.runtime import Interpreter, MemoryBuffer
+from repro.runtime.kernel_compiler import structural_hash
+from repro.runtime.parallel_executor import (
+    ParallelExecutor,
+    get_executor,
+    plan_tiles,
+    tree_combine,
+)
+
+# No __init__.py in the test tree: pytest imports sibling modules top-level.
+from test_kernel_compiler import build_average_apply, build_shift_nest_module
+
+
+# ---------------------------------------------------------------------------
+# Tile planning
+# ---------------------------------------------------------------------------
+
+
+def _assert_exact_cover(tiles, lower, upper):
+    assert tiles[0][0] == lower and tiles[-1][1] == upper
+    for (_, prev_ub), (lb, _) in zip(tiles, tiles[1:]):
+        assert lb == prev_ub  # contiguous and disjoint
+    assert all(ub > lb for lb, ub in tiles)
+
+
+class TestPlanTiles:
+    def test_static_splits_evenly(self):
+        tiles = plan_tiles(0, 100, 4)
+        assert tiles == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_static_distributes_remainder(self):
+        tiles = plan_tiles(1, 11, 4)  # extent 10 over 4 threads
+        _assert_exact_cover(tiles, 1, 11)
+        sizes = [ub - lb for lb, ub in tiles]
+        assert sorted(sizes) == [2, 2, 3, 3]
+
+    def test_static_never_exceeds_extent(self):
+        tiles = plan_tiles(0, 3, 8)
+        assert tiles == [(0, 1), (1, 2), (2, 3)]
+
+    def test_static_with_chunk(self):
+        tiles = plan_tiles(0, 10, 4, "static", chunk=3)
+        assert tiles == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_dynamic_uses_chunk(self):
+        tiles = plan_tiles(5, 17, 2, "dynamic", chunk=4)
+        assert tiles == [(5, 9), (9, 13), (13, 17)]
+
+    def test_dynamic_default_chunk_bounds_task_count(self):
+        tiles = plan_tiles(0, 1024, 4, "dynamic")
+        _assert_exact_cover(tiles, 0, 1024)
+        assert len(tiles) <= 8 * 4  # extent // (8 * threads) sized chunks
+
+    def test_guided_decreasing_sizes(self):
+        tiles = plan_tiles(0, 100, 4, "guided")
+        _assert_exact_cover(tiles, 0, 100)
+        sizes = [ub - lb for lb, ub in tiles]
+        assert sizes[0] == 25
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_guided_respects_minimum_chunk(self):
+        tiles = plan_tiles(0, 40, 4, "guided", chunk=8)
+        _assert_exact_cover(tiles, 0, 40)
+        assert all(ub - lb >= 8 for lb, ub in tiles[:-1])
+
+    def test_empty_extent(self):
+        assert plan_tiles(5, 5, 4) == []
+        assert plan_tiles(7, 3, 4) == []
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError, match="schedule"):
+            plan_tiles(0, 10, 2, "fastest")
+        with pytest.raises(ValueError, match="chunk"):
+            plan_tiles(0, 10, 2, "dynamic", chunk=0)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic tree combination
+# ---------------------------------------------------------------------------
+
+
+class TestTreeCombine:
+    def test_combination_order_is_tile_order(self):
+        calls = []
+
+        def combine(a, b):
+            calls.append((a, b))
+            return f"({a}+{b})"
+
+        result = tree_combine(["a", "b", "c", "d", "e"], combine)
+        assert result == "(((a+b)+(c+d))+e)"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tree_combine([], lambda a, b: a)
+
+    def test_map_reduce_independent_of_completion_order(self):
+        """Tiles finishing out of order must not change a floating-point
+        reduction: the tree shape depends only on the tile count."""
+        executor = ParallelExecutor(4)
+        values = [1e16, 1.0, -1e16, 1.0, 3.5, -2.25, 7.0, 0.125]
+
+        def partial(index, delay):
+            def task(_tile):
+                time.sleep(delay)
+                return values[index]
+            return task
+
+        def run(delays):
+            tasks = [partial(i, d) for i, d in enumerate(delays)]
+            return executor.map_reduce(
+                lambda i: tasks[i](i), list(range(len(values))),
+                lambda a, b: a + b,
+            )
+
+        forward = run([0.001 * i for i in range(8)])
+        reverse = run([0.001 * (8 - i) for i in range(8)])
+        sequential = tree_combine(values, lambda a, b: a + b)
+        assert forward == reverse == sequential
+        executor.shutdown()
+
+    def test_map_tiles_propagates_exceptions(self):
+        executor = ParallelExecutor(2)
+
+        def boom(tile):
+            raise RuntimeError(f"tile {tile} failed")
+
+        with pytest.raises(RuntimeError, match="tile"):
+            executor.map_tiles(boom, [(0, 1), (1, 2)])
+        executor.shutdown()
+
+    def test_get_executor_shares_pools(self):
+        assert get_executor(3) is get_executor(3)
+        assert get_executor(3) is not get_executor(5)
+
+
+# ---------------------------------------------------------------------------
+# Tiled dispatch through the interpreter
+# ---------------------------------------------------------------------------
+
+
+class TestTiledNestExecution:
+    def test_tiled_nest_matches_reference(self):
+        module, fn = build_shift_nest_module(n=32)
+        rng = np.random.default_rng(0)
+        src = np.asfortranarray(rng.random((32, 32)))
+        dst = np.zeros((32, 32), order="F")
+        interp = Interpreter([module], execution_mode="vectorize", threads=4)
+        interp.call_function(fn, [MemoryBuffer.wrap(dst), MemoryBuffer.wrap(src)])
+        assert interp.stats["parallel_sweeps"] == 1
+        assert interp.stats["parallel_tiles"] == 4
+        assert interp.stats["parallel_fallbacks"] == 0
+        assert np.allclose(dst[1:31, 1:31], src[0:30, 1:31] * 2.0)
+
+    def test_single_thread_never_touches_the_pool(self):
+        module, fn = build_shift_nest_module(n=8)
+        dst = np.zeros((8, 8), order="F")
+        src = np.asfortranarray(np.random.default_rng(1).random((8, 8)))
+        interp = Interpreter([module], execution_mode="vectorize")
+        interp.call_function(fn, [MemoryBuffer.wrap(dst), MemoryBuffer.wrap(src)])
+        assert interp.stats["vectorized_sweeps"] == 1
+        assert interp.stats["parallel_sweeps"] == 0
+        assert interp.stats["parallel_fallbacks"] == 0
+
+    def test_small_extent_counts_parallel_fallback(self):
+        """An outermost extent of 1 cannot be split: the sweep must still
+        vectorize single-tile and the refusal must be counted."""
+        module, fn = build_shift_nest_module(n=3)  # domain [1, 2): extent 1
+        dst = np.zeros((3, 3), order="F")
+        src = np.asfortranarray(np.random.default_rng(2).random((3, 3)))
+        interp = Interpreter([module], execution_mode="vectorize", threads=4)
+        interp.call_function(fn, [MemoryBuffer.wrap(dst), MemoryBuffer.wrap(src)])
+        assert interp.stats["vectorized_sweeps"] == 1
+        assert interp.stats["parallel_sweeps"] == 0
+        assert interp.stats["parallel_fallbacks"] == 1
+
+    def test_overlapping_views_fall_back_to_scalar(self):
+        """The dynamic alias guard must catch *views*: two slices of one base
+        array share memory even though they are distinct ndarray objects, and
+        np.may_share_memory is the only way to see it.  The sweep must run on
+        the scalar path (and certainly never be tiled)."""
+        module, fn = build_shift_nest_module(n=6)
+        backing = np.asfortranarray(np.random.default_rng(3).random((7, 6)))
+        dst_view = backing[:-1, :]   # rows 0..5
+        src_view = backing[1:, :]    # rows 1..6: overlaps dst in rows 1..5
+        assert np.may_share_memory(dst_view, src_view)
+        expected = backing.copy(order="F")
+        for i in range(1, 5):  # scalar semantics of dst[i,j] = src[i-1,j]*2
+            for j in range(1, 5):
+                expected[:-1][i, j] = expected[1:][i - 1, j] * 2.0
+        interp = Interpreter([module], execution_mode="vectorize", threads=4)
+        interp.call_function(
+            fn, [MemoryBuffer.wrap(dst_view), MemoryBuffer.wrap(src_view)]
+        )
+        assert interp.stats["vectorize_fallbacks"] == 1
+        assert interp.stats["vectorized_sweeps"] == 0
+        assert interp.stats["parallel_sweeps"] == 0
+        assert np.allclose(backing, expected)
+
+    def test_crosscheck_with_threads_on_tiled_nest(self):
+        module, fn = build_shift_nest_module(n=24)
+        dst = np.zeros((24, 24), order="F")
+        src = np.asfortranarray(np.random.default_rng(4).random((24, 24)))
+        interp = Interpreter([module], execution_mode="crosscheck", threads=3)
+        interp.call_function(fn, [MemoryBuffer.wrap(dst), MemoryBuffer.wrap(src)])
+        assert interp.stats["parallel_sweeps"] == 1
+        assert np.allclose(dst[1:23, 1:23], src[0:22, 1:23] * 2.0)
+
+
+class TestTiledApplyExecution:
+    def test_tiled_apply_matches_single_tile(self):
+        from repro.runtime import TempValue
+        from repro.runtime.kernel_compiler import KernelCompiler
+
+        n = 16
+        apply_op = build_average_apply(n)
+        module = ModuleOp([])
+        compiler = KernelCompiler(use_shared_cache=False)
+        bound = compiler.kernel_for(apply_op)
+        assert bound.kernel.result_is_array == (True,)
+
+        data = np.asfortranarray(np.random.default_rng(5).random((n, n)))
+        temp = TempValue(data, (0, 0))
+        interp = Interpreter([module], execution_mode="vectorize", threads=4,
+                             kernel_compiler=compiler)
+        lb, ub = (1, 1), (n - 1, n - 1)
+        [tiled] = interp._run_apply_kernel(bound.kernel, [temp], lb, ub)
+        expected = (data[0:n - 2, 1:n - 1] + data[2:n, 1:n - 1]) * 0.5
+        assert interp.stats["parallel_sweeps"] == 1
+        assert interp.stats["parallel_tiles"] == 4
+        assert np.allclose(tiled, expected)
+
+    def test_scalar_result_apply_refuses_tiling(self):
+        """An apply returning a non-array value (a constant) cannot be
+        slab-assembled; tiling is refused and counted."""
+        from repro.runtime import TempValue
+        from repro.runtime.kernel_compiler import KernelCompiler
+
+        n = 12
+        apply_op = build_average_apply(n)
+        body = apply_op.body.block
+        ret = body.last_op
+        ret.erase(safe=False)
+        inner = Builder.at_end(body)
+        constant = inner.insert(arith.ConstantOp.from_float(4.0)).results[0]
+        inner.insert(stencil.ReturnOp([constant]))
+
+        compiler = KernelCompiler(use_shared_cache=False)
+        bound = compiler.kernel_for(apply_op)
+        assert bound.kernel.result_is_array == (False,)
+        temp = TempValue(np.zeros((n, n), order="F"), (0, 0))
+        interp = Interpreter([ModuleOp([])], execution_mode="vectorize",
+                             threads=4, kernel_compiler=compiler)
+        [value] = interp._run_apply_kernel(bound.kernel, [temp], (1, 1),
+                                           (n - 1, n - 1))
+        assert float(value) == 4.0
+        assert interp.stats["parallel_sweeps"] == 0
+        assert interp.stats["parallel_fallbacks"] == 1
+
+    def test_stencil_level_crosscheck_with_threads(self):
+        n = 16
+        result = compile_fortran(
+            gauss_seidel.generate_source(n, niters=2), Target.STENCIL_CPU
+        )
+        u = gauss_seidel.initial_condition(n)
+        interp = result.interpreter(execution_mode="crosscheck", threads=4)
+        interp.call("gauss_seidel", u)
+        assert interp.stats["parallel_sweeps"] >= 1
+        reference = gauss_seidel.reference_jacobi(
+            gauss_seidel.initial_condition(n), 2)
+        assert np.allclose(u, reference)
+
+
+# ---------------------------------------------------------------------------
+# Schedule plumbing and the threads knob
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulePlumbing:
+    def _lowered_wsloop(self, **options):
+        result = compile_fortran(
+            gauss_seidel.generate_source(10, niters=1), Target.STENCIL_OPENMP,
+            lower_to_scf=True, **options,
+        )
+        return next(op for op in result.stencil_module.walk()
+                    if isinstance(op, omp.WsLoopOp))
+
+    def test_schedule_clause_reaches_the_wsloop(self):
+        wsloop = self._lowered_wsloop(omp_schedule="dynamic", omp_chunk_size=4)
+        assert wsloop.schedule == "dynamic"
+        assert wsloop.chunk_size == 4
+
+    def test_default_schedule_is_static(self):
+        wsloop = self._lowered_wsloop()
+        assert wsloop.schedule == "static"
+        assert wsloop.chunk_size is None
+
+    def test_schedule_does_not_split_the_kernel_cache(self):
+        """The clause is execution policy: structurally the loops are the
+        same computation and must share one compiled kernel."""
+        static = self._lowered_wsloop(omp_schedule="static")
+        guided = self._lowered_wsloop(omp_schedule="guided", omp_chunk_size=2)
+        assert structural_hash(static) == structural_hash(guided)
+
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(ValueError, match="omp_schedule"):
+            CompilerOptions(omp_schedule="fastest")
+        with pytest.raises(ValueError, match="threads"):
+            CompilerOptions(threads=0)
+        with pytest.raises(ValueError, match="omp_chunk_size"):
+            CompilerOptions(omp_chunk_size=0)
+
+    def test_wsloop_verifier_rejects_bad_clause(self):
+        wsloop = self._lowered_wsloop()
+        from repro.ir.attributes import StringAttr
+
+        wsloop.attributes["omp.schedule"] = StringAttr("warp")
+        with pytest.raises(VerifyException, match="schedule"):
+            wsloop.verify_()
+
+    def test_threads_knob_through_options_and_override(self):
+        result = compile_fortran(
+            gauss_seidel.generate_source(8, niters=1), Target.STENCIL_CPU,
+            execution_mode="vectorize", threads=3,
+        )
+        assert result.interpreter().threads == 3
+        assert result.interpreter(threads=1).threads == 1
+        assert result.interpreter(threads=2).threads == 2
+
+
+# ---------------------------------------------------------------------------
+# Per-kernel runtime statistics
+# ---------------------------------------------------------------------------
+
+
+class TestKernelRuntimeStats:
+    def test_per_kernel_invocations_and_seconds(self):
+        niters = 3
+        result = compile_fortran(
+            gauss_seidel.generate_source(12, niters=niters), Target.STENCIL_CPU,
+        )
+        interp = result.interpreter(execution_mode="vectorize")
+        interp.call("gauss_seidel", gauss_seidel.initial_condition(12))
+        per_kernel = interp.kernels.stats["per_kernel"]
+        assert len(per_kernel) == 1
+        [(label, entry)] = per_kernel.items()
+        assert label.startswith("stencil.apply@")
+        assert entry["invocations"] == niters
+        assert entry["seconds"] >= 0.0
+
+    def test_kernel_stats_table_renders(self):
+        from repro.harness import kernel_stats_table
+
+        result = compile_fortran(
+            gauss_seidel.generate_source(10, niters=1), Target.STENCIL_CPU,
+        )
+        interp = result.interpreter(execution_mode="vectorize")
+        interp.call("gauss_seidel", gauss_seidel.initial_condition(10))
+        table = kernel_stats_table(interp.kernels)
+        assert "stencil.apply@" in table
+        assert "invocations" in table and "total_s" in table
+
+    def test_empty_stats_table(self):
+        from repro.harness import kernel_stats_table
+        from repro.runtime import KernelCompiler
+
+        assert "no kernels executed" in kernel_stats_table(KernelCompiler())
