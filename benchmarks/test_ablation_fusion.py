@@ -3,15 +3,16 @@
 import pytest
 
 from repro.apps import pw_advection
-from repro.compiler import Target, compile_fortran
+import repro
 from repro.harness import format_table, fusion_ablation
 
 
 @pytest.mark.parametrize("fuse", [True, False], ids=["fused", "unfused"])
 def test_compile_and_run_pw(benchmark, fuse):
     n = 16
-    result = compile_fortran(pw_advection.generate_source(n), Target.STENCIL_CPU,
-                             fuse_stencils=fuse)
+    result = repro.compile(
+        pw_advection.generate_source(n)
+    ).lower("cpu", fuse_stencils=fuse)
     fields = [f.copy(order="F") for f in pw_advection.initial_fields(n)]
     interp = result.interpreter()
 

@@ -12,14 +12,14 @@ import numpy as np
 import pytest
 
 from repro.apps import gauss_seidel, pw_advection
-from repro.compiler import Target, compile_fortran
+import repro
 from repro.harness import figure2_single_core, format_table
 
 
 @pytest.fixture(scope="module")
 def compiled_gs(gs_grid):
     n, _ = gs_grid
-    return compile_fortran(gauss_seidel.generate_source(n, niters=1), Target.STENCIL_CPU)
+    return repro.compile(gauss_seidel.generate_source(n, niters=1)).lower("cpu")
 
 
 def test_stencil_path_gauss_seidel(benchmark, gs_grid, compiled_gs):
@@ -38,7 +38,7 @@ def test_flang_only_path_gauss_seidel(benchmark, gs_grid):
     # The FIR loop nest is interpreted point by point, so use a smaller grid.
     n = 16
     source = gauss_seidel.generate_source(n, niters=1)
-    result = compile_fortran(source, Target.FLANG_ONLY)
+    result = repro.compile(source).lower("flang-only")
     init = gauss_seidel.initial_condition(n)
     interp = result.interpreter()
 
@@ -50,7 +50,7 @@ def test_flang_only_path_gauss_seidel(benchmark, gs_grid):
 
 def test_stencil_path_pw_advection(benchmark, pw_grid):
     n, fields = pw_grid
-    result = compile_fortran(pw_advection.generate_source(n), Target.STENCIL_CPU)
+    result = repro.compile(pw_advection.generate_source(n)).lower("cpu")
     interp = result.interpreter()
     u, v, w, su, sv, sw = [f.copy(order="F") for f in fields]
 
@@ -81,10 +81,9 @@ def test_vectorized_mode_speedup_gauss_seidel():
     the lowered scf loop nest by >= 10x (it is typically >100x) while
     producing the same field."""
     n = 20
-    result = compile_fortran(
-        gauss_seidel.generate_source(n, niters=1), Target.STENCIL_CPU,
-        lower_to_scf=True,
-    )
+    result = repro.compile(
+        gauss_seidel.generate_source(n, niters=1)
+    ).lower("cpu", lower_to_scf=True)
     init = gauss_seidel.initial_condition(n)
     t_interp, u_interp, _ = _time_lowered_run(result, "gauss_seidel", [init], "interpret")
     t_vec, u_vec, interp = _time_lowered_run(result, "gauss_seidel", [init],
@@ -99,9 +98,9 @@ def test_vectorized_mode_speedup_gauss_seidel():
 
 def test_vectorized_mode_speedup_pw_advection():
     n = 10
-    result = compile_fortran(
-        pw_advection.generate_source(n), Target.STENCIL_CPU, lower_to_scf=True
-    )
+    result = repro.compile(
+        pw_advection.generate_source(n)
+    ).lower("cpu", lower_to_scf=True)
     fields = pw_advection.initial_fields(n)
     t_interp, f_interp, _ = _time_lowered_run(result, "pw_advection", fields, "interpret")
     t_vec, f_vec, interp = _time_lowered_run(result, "pw_advection", fields,

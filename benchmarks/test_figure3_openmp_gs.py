@@ -9,14 +9,15 @@ import numpy as np
 import pytest
 
 from repro.apps import gauss_seidel
-from repro.compiler import Target, compile_fortran
+import repro
 from repro.harness import figure3_openmp_gauss_seidel, format_table
 
 
 def test_openmp_lowered_execution(benchmark):
     n = 24
-    result = compile_fortran(gauss_seidel.generate_source(n, niters=1),
-                             Target.STENCIL_OPENMP, lower_to_scf=True)
+    result = repro.compile(
+        gauss_seidel.generate_source(n, niters=1)
+    ).lower("openmp", lower_to_scf=True)
     init = gauss_seidel.initial_condition(n)
     interp = result.interpreter()
 
@@ -34,10 +35,9 @@ def test_crosscheck_passes_with_threads_gs(schedule, chunk):
     """Tiled parallel sweeps of the lowered Gauss-Seidel replay through the
     scalar oracle at threads=4 under every schedule kind."""
     n = 18
-    result = compile_fortran(
-        gauss_seidel.generate_source(n, niters=2), Target.STENCIL_OPENMP,
-        lower_to_scf=True, omp_schedule=schedule, omp_chunk_size=chunk,
-    )
+    result = repro.compile(
+        gauss_seidel.generate_source(n, niters=2)
+    ).lower("openmp", lower_to_scf=True, schedule=schedule, chunk_size=chunk)
     u = gauss_seidel.initial_condition(n)
     interp = result.interpreter(execution_mode="crosscheck", threads=4)
     interp.call("gauss_seidel", u)

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.apps import pw_advection
-from repro.compiler import Target, compile_fortran
+import repro
 from repro.harness import (
     figure4_openmp_pw_advection,
     format_table,
@@ -22,8 +22,9 @@ from repro.harness import (
 
 def test_openmp_lowered_execution_pw(benchmark):
     n = 16
-    result = compile_fortran(pw_advection.generate_source(n),
-                             Target.STENCIL_OPENMP, lower_to_scf=True)
+    result = repro.compile(
+        pw_advection.generate_source(n)
+    ).lower("openmp", lower_to_scf=True)
     fields = [f.copy(order="F") for f in pw_advection.initial_fields(n)]
     interp = result.interpreter()
 
@@ -37,8 +38,9 @@ def test_crosscheck_passes_with_threads_pw():
     """Every tiled parallel sweep of the lowered PW advection replays through
     the scalar oracle at threads=4 without divergence."""
     n = 14
-    result = compile_fortran(pw_advection.generate_source(n),
-                             Target.STENCIL_OPENMP, lower_to_scf=True)
+    result = repro.compile(
+        pw_advection.generate_source(n)
+    ).lower("openmp", lower_to_scf=True)
     fields = [f.copy(order="F") for f in pw_advection.initial_fields(n)]
     interp = result.interpreter(execution_mode="crosscheck", threads=4)
     interp.call("pw_advection", *fields)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps import gauss_seidel
-from repro.compiler import Target, compile_fortran
+import repro
 from repro.harness import figure5_gpu, format_table, gpu_data_ablation
 from repro.runtime import SimulatedGPU
 
@@ -11,8 +11,9 @@ from repro.runtime import SimulatedGPU
 @pytest.mark.parametrize("strategy", ["optimised", "host_register"])
 def test_gpu_execution_per_strategy(benchmark, strategy):
     n = 24
-    result = compile_fortran(gauss_seidel.generate_source(n, niters=1),
-                             Target.STENCIL_GPU, gpu_data_strategy=strategy)
+    result = repro.compile(
+        gauss_seidel.generate_source(n, niters=1)
+    ).lower("gpu", data_strategy=strategy)
     init = gauss_seidel.initial_condition(n)
 
     def run():

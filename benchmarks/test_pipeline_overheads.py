@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps import gauss_seidel, pw_advection
-from repro.compiler import Target, compile_fortran
+import repro
 from repro.frontend import compile_to_fir
 from repro.ir import PassManager, default_context, parse_pipeline, print_module, parse_module
 from repro.transforms import GPU_PIPELINE, StencilDiscoveryPass, ExtractStencilsPass
@@ -28,14 +28,14 @@ def test_discovery_pass_time(benchmark):
 
 def test_full_stencil_flow_compile_time(benchmark):
     source = gauss_seidel.generate_source(64, niters=10)
-    result = benchmark(compile_fortran, source, Target.STENCIL_CPU)
+    result = benchmark(lambda: repro.Session().compile(source).lower("cpu"))
     assert result.extracted_functions
 
 
 def test_listing4_pipeline_parse_and_run(benchmark):
     """The paper's Listing 4 mlir-opt pipeline, parsed and applied."""
     source = gauss_seidel.generate_source(32, niters=1)
-    result = compile_fortran(source, Target.STENCIL_CPU)
+    result = repro.compile(source).lower("cpu")
 
     def run():
         module = result.stencil_module.clone()

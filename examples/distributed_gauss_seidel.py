@@ -11,7 +11,7 @@ import threading
 
 import numpy as np
 
-from repro import Target, compile_fortran
+import repro
 from repro.apps import gauss_seidel
 from repro.harness import figure6_distributed, format_table
 from repro.runtime import CartesianDecomposition, Interpreter, SimulatedCommunicator
@@ -30,7 +30,7 @@ def main() -> None:
 
     # One compilation, shared by every rank (same unmodified serial source).
     source = gauss_seidel.generate_source(LOCAL_N + 2, niters=1)
-    compiled = compile_fortran(source, Target.STENCIL_DMP, grid=GRID)
+    compiled = repro.compile(source).lower("dmp", grid=GRID)
 
     comm = SimulatedCommunicator(num_ranks)
     decomposition = CartesianDecomposition(global_shape, GRID, (0, 1))

@@ -11,7 +11,7 @@ import time
 
 import numpy as np
 
-from repro import Target, compile_fortran
+import repro
 from repro.apps import gauss_seidel
 from repro.harness import figure3_openmp_gauss_seidel, format_table
 
@@ -22,16 +22,17 @@ NITERS = 2
 def main() -> None:
     source = gauss_seidel.generate_source(N, NITERS)
     initial = gauss_seidel.initial_condition(N)
+    program = repro.compile(source)
 
     # --- Flang only (plain FIR loop nests, true Gauss-Seidel sweeps) --------
-    flang_only = compile_fortran(source, Target.FLANG_ONLY)
+    flang_only = program.lower("flang-only")
     flang_data = initial.copy(order="F")
     start = time.perf_counter()
     flang_only.run("gauss_seidel", flang_data)
     flang_time = time.perf_counter() - start
 
     # --- Stencil flow (discovery + extraction, vectorised execution) --------
-    stencil_flow = compile_fortran(source, Target.STENCIL_CPU)
+    stencil_flow = program.lower("cpu")
     stencil_data = initial.copy(order="F")
     start = time.perf_counter()
     stencil_flow.run("gauss_seidel", stencil_data)
@@ -45,8 +46,7 @@ def main() -> None:
     # --- Automatic OpenMP parallelisation (no source changes) --------------
     # The omp.wsloop sweeps execute for real on a 4-worker thread pool: each
     # compiled kernel sweep is tiled along its outermost parallel dimension.
-    openmp = compile_fortran(source, Target.STENCIL_OPENMP, lower_to_scf=True,
-                             execution_mode="vectorize", threads=4)
+    openmp = program.lower("openmp", lower_to_scf=True).vectorize(threads=4)
     omp_data = initial.copy(order="F")
     interp = openmp.interpreter()
     interp.call("gauss_seidel", omp_data)

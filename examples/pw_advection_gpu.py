@@ -9,7 +9,7 @@ one generates (the reason the optimised pass wins in Figure 5).
 
 import numpy as np
 
-from repro import Target, compile_fortran
+import repro
 from repro.apps import pw_advection
 from repro.harness import figure5_gpu, format_table
 from repro.runtime import SimulatedGPU
@@ -18,10 +18,10 @@ N = 24
 
 
 def main() -> None:
-    source = pw_advection.generate_source(N, niters=4)
+    program = repro.compile(pw_advection.generate_source(N, niters=4))
 
     for strategy in ("host_register", "optimised"):
-        compiled = compile_fortran(source, Target.STENCIL_GPU, gpu_data_strategy=strategy)
+        compiled = program.lower("gpu", data_strategy=strategy)
         applies = sum(1 for op in compiled.stencil_module.walk()
                       if op.name == "stencil.apply")
         device = SimulatedGPU()

@@ -4,7 +4,9 @@
 This reproduces the paper's core idea on the Listing 1 example: unmodified
 serial Fortran goes in, the compiler discovers the stencil in the FIR, extracts
 it into a separate stencil-dialect module, and the program runs with the
-optimised (vectorised) stencil execution path.
+optimised (vectorised) stencil execution path — all through the fluent API:
+``repro.compile(source)`` returns a ``Program``, ``program.lower("cpu", ...)``
+a compiled handle you derive and run.
 
 Usage::
 
@@ -20,7 +22,7 @@ import argparse
 
 import numpy as np
 
-from repro import Target, compile_fortran
+import repro
 from repro.ir import print_module
 
 FORTRAN_SOURCE = """
@@ -40,21 +42,20 @@ end subroutine average
 
 def main(execution_mode: str = "interpret", threads: int = 1) -> float:
     # 1. Compile: Fortran -> FIR -> stencil discovery -> extraction.
-    result = compile_fortran(
-        FORTRAN_SOURCE, Target.STENCIL_CPU, execution_mode=execution_mode,
-        threads=threads,
-    )
+    program = repro.compile(FORTRAN_SOURCE)
+    compiled = program.lower("cpu", execution_mode=execution_mode,
+                             threads=threads)
     print(f"execution mode      : {execution_mode} (threads={threads})")
     if threads > 1 and execution_mode == "interpret":
         print("note: --threads only affects compiled sweeps; the scalar "
               "'interpret' mode runs single-threaded "
               "(use --execution-mode vectorize or crosscheck)")
-    print(f"discovered stencils : {result.discovered_stencils}")
-    print(f"extracted functions : {result.extracted_functions}")
+    print(f"discovered stencils : {compiled.discovered_stencils}")
+    print(f"extracted functions : {compiled.extracted_functions}")
 
     # 2. Inspect the extracted stencil module (the paper's Listing 2 shape).
     print("\n--- extracted stencil module (excerpt) ---")
-    print("\n".join(print_module(result.stencil_module).splitlines()[:24]))
+    print("\n".join(print_module(compiled.stencil_module).splitlines()[:24]))
 
     # 3. Execute and check against a numpy reference.
     rng = np.random.default_rng(0)
@@ -65,7 +66,7 @@ def main(execution_mode: str = "interpret", threads: int = 1) -> float:
         + expected[:-2, 1:-1] + expected[2:, 1:-1]
     ) * 0.25
 
-    result.run("average", data)
+    compiled.run("average", data)
     error = float(np.abs(data - expected).max())
     print("\nmax |error| vs numpy reference:", error)
     return error

@@ -17,13 +17,35 @@ The package contains:
 * :mod:`repro.harness` — experiment drivers regenerating every figure of the
   paper's evaluation.
 
-The high-level compiler driver (:mod:`repro.compiler`) is re-exported lazily
-so that importing :mod:`repro` stays cheap.
+The public compiler API (:mod:`repro.api` — ``repro.compile``, the backend
+registry, ``Program``/``Session``) and the legacy driver shim
+(:mod:`repro.compiler`) are re-exported lazily so that importing
+:mod:`repro` stays cheap.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 _LAZY_EXPORTS = {
+    # Fluent API (the supported surface).
+    "compile": "repro.api",
+    "Program": "repro.api",
+    "CompiledProgram": "repro.api",
+    "CompiledArtifact": "repro.api",
+    "Session": "repro.api",
+    "default_session": "repro.api",
+    "Backend": "repro.api",
+    "BackendRegistry": "repro.api",
+    "UnknownBackendError": "repro.api",
+    "registry": "repro.api",
+    "get_backend": "repro.api",
+    "OptionError": "repro.api",
+    "BackendOptions": "repro.api",
+    "FlangOnlyOptions": "repro.api",
+    "CpuOptions": "repro.api",
+    "OpenMPOptions": "repro.api",
+    "GpuOptions": "repro.api",
+    "DmpOptions": "repro.api",
+    # Legacy deprecation shim.
     "CompilerDriver": "repro.compiler",
     "CompilerOptions": "repro.compiler",
     "CompilationResult": "repro.compiler",

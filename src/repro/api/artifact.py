@@ -1,0 +1,49 @@
+"""Compiled artifacts: what a backend's lowering produced for one source.
+
+A :class:`CompiledArtifact` is the unit the :class:`repro.api.Session` cache
+stores — everything downstream execution needs (the FIR module, the extracted
+stencil module after the backend's lowering, discovery/extraction metadata and
+per-pass statistics), with no runtime state attached.  Interpreters built from
+one artifact never mutate its modules, so a single artifact is safely shared
+by any number of fluent handles and concurrent batch runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dialects.builtin import ModuleOp
+from .options import BackendOptions
+
+
+@dataclass
+class CompiledArtifact:
+    """Everything one backend's flow produced for one Fortran source."""
+
+    source: str
+    backend: str
+    options: BackendOptions
+    fir_module: ModuleOp
+    stencil_module: Optional[ModuleOp] = None
+    discovered_stencils: Dict[str, int] = field(default_factory=dict)
+    extracted_functions: List[str] = field(default_factory=list)
+    pass_statistics: List = field(default_factory=list)
+
+    @property
+    def modules(self) -> List[ModuleOp]:
+        """The modules the interpreter links at run time (§3, Figure 1)."""
+        mods = [self.fir_module]
+        if self.stencil_module is not None:
+            mods.append(self.stencil_module)
+        return mods
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<CompiledArtifact backend={self.backend!r} "
+            f"stencils={sum(self.discovered_stencils.values())} "
+            f"extracted={len(self.extracted_functions)}>"
+        )
+
+
+__all__ = ["CompiledArtifact"]

@@ -1,0 +1,161 @@
+"""Sessions: compiled-artifact caching and batch execution.
+
+A :class:`Session` is the stateful half of the fluent API.  It memoizes
+:class:`repro.api.CompiledArtifact` objects by ``(source hash, backend name,
+frozen compile-time options)`` so harness sweeps, ablations and serving
+workloads that compile the same source repeatedly stop re-running
+discovery/extraction from scratch — and it offers :meth:`run_batch`, which
+fans independent argument sets of one compiled program out over the
+persistent thread pool of :mod:`repro.runtime.parallel_executor`.
+
+Runtime-only options (``execution_mode``, ``threads``) are excluded from the
+cache key, so ``compiled.vectorize(threads=4)`` is a cache *hit* on the
+artifact compiled by ``program.lower(...)``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.context import Context, default_context
+from ..runtime.parallel_executor import ParallelExecutor
+from .artifact import CompiledArtifact
+from .backends import Backend, BackendRegistry, registry as default_registry
+from .options import BackendOptions
+from .program import CompiledProgram, Program, source_fingerprint
+
+#: Upper bound on default batch workers (explicit ``workers=`` overrides it).
+_MAX_DEFAULT_BATCH_WORKERS = max(1, os.cpu_count() or 1)
+
+
+class Session:
+    """Compiles programs and memoizes the compiled artifacts.
+
+    ``session.compile(source)`` returns a :class:`Program` bound to this
+    session; every ``program.lower(...)`` (and every runtime derivation of a
+    compiled handle) goes through :meth:`lower`, which consults the cache
+    before invoking the backend.  ``cache_stats`` exposes measured hit/miss
+    counters.
+    """
+
+    def __init__(self, registry: Optional[BackendRegistry] = None,
+                 ctx: Optional[Context] = None):
+        self.registry = registry if registry is not None else default_registry
+        self._ctx = ctx or default_context()
+        self._cache: Dict[Tuple, CompiledArtifact] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        # Batch dispatch pools, one per worker count.  Deliberately *not* the
+        # process-wide count-keyed pools of ``get_executor``: batch tasks
+        # block on tile futures from their interpreters' pools, so sharing a
+        # pool between the two layers deadlocks whenever the batch worker
+        # count equals a handle's interpreter thread count.
+        self._batch_executors: Dict[int, ParallelExecutor] = {}
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile(self, source: str) -> Program:
+        """Wrap ``source`` in a :class:`Program` bound to this session."""
+        return Program(source, self)
+
+    def lower(self, source, backend="cpu",
+              options: Optional[BackendOptions] = None,
+              **overrides) -> CompiledProgram:
+        """Compile ``source`` for ``backend``, reusing cached artifacts.
+
+        ``backend`` may be a registered name, a legacy alias, a Target enum
+        member, or a :class:`Backend` object; keyword ``overrides`` refine the
+        backend's option schema and are validated against it.
+        """
+        source = getattr(source, "source", source)
+        backend_obj = self.registry.get(backend)
+        opts = backend_obj.make_options(options, **overrides)
+        artifact = self._artifact_for(source, backend_obj, opts)
+        return CompiledProgram(self, source, backend_obj, opts, artifact)
+
+    def _artifact_for(self, source: str, backend: Backend,
+                      options: BackendOptions) -> CompiledArtifact:
+        key = (source_fingerprint(source), backend.name, options.cache_key())
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                return cached
+            self._misses += 1
+        artifact = backend.lower(source, options, ctx=self._ctx)
+        with self._lock:
+            # Two threads may race to compile the same key; the artifacts are
+            # equivalent, keep the first and let the loser's result drop.
+            return self._cache.setdefault(key, artifact)
+
+    # -- cache management ----------------------------------------------------
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        """Measured cache counters: ``hits``, ``misses``, ``artifacts``."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "artifacts": len(self._cache),
+            }
+
+    def clear_cache(self) -> None:
+        """Drop every cached artifact and reset the counters."""
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
+
+    # -- batch execution -----------------------------------------------------
+
+    def run_batch(self, compiled: CompiledProgram, entry: str,
+                  arg_sets: Sequence[Sequence],
+                  workers: Optional[int] = None) -> List[List[object]]:
+        """Run ``entry`` once per argument set, concurrently.
+
+        Each argument set gets its own interpreter over the shared compiled
+        modules (interpreters never mutate them), dispatched on the
+        persistent thread pool from :mod:`repro.runtime.parallel_executor`.
+        Results come back **in input order** — deterministic regardless of
+        completion order — and arrays are mutated in place per Fortran
+        by-reference semantics, so each argument set should own its arrays.
+        """
+        arg_sets = list(arg_sets)
+        if not arg_sets:
+            return []
+
+        def run_one(args: Sequence) -> List[object]:
+            return compiled.interpreter().call(entry, *args)
+
+        if workers is None:
+            workers = min(len(arg_sets), _MAX_DEFAULT_BATCH_WORKERS)
+        if workers <= 1 or len(arg_sets) == 1:
+            return [run_one(args) for args in arg_sets]
+        with self._lock:
+            executor = self._batch_executors.get(workers)
+            if executor is None:
+                executor = ParallelExecutor(workers)
+                self._batch_executors[workers] = executor
+        return executor.map_tiles(run_one, arg_sets)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        stats = self.cache_stats
+        return (
+            f"<Session artifacts={stats['artifacts']} "
+            f"hits={stats['hits']} misses={stats['misses']}>"
+        )
+
+
+_default_session = Session()
+
+
+def default_session() -> Session:
+    """The process-wide session behind :func:`repro.compile`."""
+    return _default_session
+
+
+__all__ = ["Session", "default_session"]

@@ -1,38 +1,54 @@
-"""High-level compiler driver reproducing the paper's end-to-end flow.
+"""Legacy high-level compiler driver — a deprecation shim over :mod:`repro.api`.
 
-``compile_fortran`` is the single entry point: Fortran source goes in, a
-:class:`CompilationResult` comes out holding the FIR module (what Flang alone
-would compile) and, for the stencil targets, the extracted stencil module
-after the requested lowering.  The result can build an
-:class:`repro.runtime.Interpreter` that "links" the two modules and executes
-them, exactly mirroring the paper's compile-separately / link-at-runtime
-arrangement (§3, Figure 1).
+The historical single entry point (``compile_fortran`` + the flat
+:class:`CompilerOptions` dataclass) is kept working, but compilation now
+dispatches through the backend registry: ``CompilerDriver.compile`` maps its
+``Target`` to the registered :class:`repro.api.Backend`, converts the flat
+options to that backend's schema, and wraps the resulting artifact back into a
+:class:`CompilationResult`, so both APIs produce identical modules.
+
+New code should use the fluent API instead::
+
+    import repro
+
+    program = repro.compile(source)                       # Program
+    compiled = program.lower("openmp", lower_to_scf=True,
+                             schedule="dynamic")          # CompiledProgram
+    compiled.vectorize(threads=4).run("entry", *args)
+
+See the README's migration table for the old→new mapping.
 """
 
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from .api.backends import registry
+from .api.options import (
+    BackendOptions,
+    CpuOptions,
+    DmpOptions,
+    FlangOnlyOptions,
+    GPU_DATA_STRATEGIES,
+    GpuOptions,
+    OpenMPOptions,
+)
+from .api.program import build_interpreter
 from .dialects.builtin import ModuleOp
-from .frontend import compile_to_fir
 from .ir.context import Context, default_context
-from .ir.pass_manager import PassManager
 from .runtime.gpu_runtime import SimulatedGPU
 from .runtime.interpreter import Interpreter
 from .runtime.kernel_compiler import EXECUTION_MODES
 from .runtime.mpi_runtime import CartesianDecomposition, SimulatedCommunicator
 from .runtime.parallel_executor import SCHEDULE_KINDS
-from .transforms import pipelines
-from .transforms.distributed import ConvertDMPToMPIPass, ConvertStencilToDMPPass
-from .transforms.gpu_data_management import GpuHostRegisterPass, GpuOptimisedDataPass
-from .transforms.stencil_discovery import StencilDiscoveryPass
-from .transforms.stencil_extraction import ExtractStencilsPass
 
 
 class Target(enum.Enum):
-    """Compilation targets evaluated in the paper."""
+    """Compilation targets evaluated in the paper (legacy spelling of the
+    backend-registry names — ``repro.api.registry`` accepts both)."""
 
     FLANG_ONLY = "flang-only"          #: plain FIR, no stencil specialisation
     STENCIL_CPU = "stencil-cpu"        #: single-core CPU via the stencil flow
@@ -43,7 +59,8 @@ class Target(enum.Enum):
 
 @dataclass
 class CompilerOptions:
-    """Options controlling the stencil flow."""
+    """Flat legacy options (deprecated — use the per-backend schemas in
+    :mod:`repro.api.options`: ``OpenMPOptions``, ``GpuOptions``, ...)."""
 
     target: Target = Target.STENCIL_CPU
     #: Lower the extracted stencil module all the way to scf/omp/gpu loops.
@@ -94,6 +111,36 @@ class CompilerOptions:
             raise ValueError(
                 f"omp_chunk_size must be positive, got {self.omp_chunk_size}"
             )
+        if self.gpu_data_strategy not in GPU_DATA_STRATEGIES:
+            raise ValueError(
+                f"gpu_data_strategy must be one of {GPU_DATA_STRATEGIES}, "
+                f"got {self.gpu_data_strategy!r}"
+            )
+
+    def to_backend_options(self) -> BackendOptions:
+        """Convert to the target backend's option schema, keeping only the
+        fields that backend understands."""
+        common = dict(
+            lower_to_scf=self.lower_to_scf,
+            fuse_stencils=self.fuse_stencils,
+            execution_mode=self.execution_mode,
+            threads=self.threads,
+        )
+        if self.target is Target.FLANG_ONLY:
+            return FlangOnlyOptions(**common)
+        if self.target is Target.STENCIL_OPENMP:
+            return OpenMPOptions(
+                schedule=self.omp_schedule, chunk_size=self.omp_chunk_size,
+                num_threads=self.num_threads, **common,
+            )
+        if self.target is Target.STENCIL_GPU:
+            return GpuOptions(
+                data_strategy=self.gpu_data_strategy,
+                tile_sizes=tuple(self.tile_sizes), **common,
+            )
+        if self.target is Target.STENCIL_DMP:
+            return DmpOptions(grid=tuple(self.grid), **common)
+        return CpuOptions(**common)
 
 
 @dataclass
@@ -125,14 +172,19 @@ class CompilationResult:
         threads: Optional[int] = None,
     ) -> Interpreter:
         """Build an interpreter with the FIR and stencil modules linked.
+
         ``execution_mode`` and ``threads`` override the compile-time options
-        when given."""
-        if gpu is None and self.options.target is Target.STENCIL_GPU:
-            gpu = SimulatedGPU()
-        return Interpreter(
-            self.modules, gpu=gpu, comm=comm, rank=rank, decomposition=decomposition,
-            execution_mode=execution_mode or self.options.execution_mode,
-            threads=threads if threads is not None else self.options.threads,
+        when given; ``None`` means "use the compiled default" and any other
+        value — including falsy ones — is validated at override time.  Both
+        this method and the fluent ``CompiledProgram.interpreter`` delegate
+        to :func:`repro.api.program.build_interpreter`, so the legacy and
+        fluent paths cannot diverge.
+        """
+        return build_interpreter(
+            registry.get(self.options.target), self.options.to_backend_options(),
+            self.modules, gpu=gpu, comm=comm, rank=rank,
+            decomposition=decomposition, execution_mode=execution_mode,
+            threads=threads,
         )
 
     def run(self, entry: str, *args, **kwargs):
@@ -143,7 +195,12 @@ class CompilationResult:
 
 
 class CompilerDriver:
-    """Implements the pipeline of Figure 1 of the paper."""
+    """Legacy driver for the pipeline of Figure 1 of the paper.
+
+    The five-way target dispatch now lives in the backend registry:
+    ``compile`` is ``registry.get(target).lower(source, options)`` plus the
+    wrapping of the artifact into a :class:`CompilationResult`.
+    """
 
     def __init__(self, options: Optional[CompilerOptions] = None,
                  ctx: Optional[Context] = None):
@@ -154,74 +211,36 @@ class CompilerDriver:
 
     def compile(self, source: str) -> CompilationResult:
         options = self.options
-        fir_module = compile_to_fir(source)
-        result = CompilationResult(source=source, options=options, fir_module=fir_module)
-        if options.target is Target.FLANG_ONLY:
-            return result
-
-        # 1. Discover stencils in the FIR produced by "Flang".
-        discovery = StencilDiscoveryPass(merge=options.fuse_stencils)
-        discovery.apply(self.ctx, fir_module)
-        result.discovered_stencils = dict(discovery.discovered)
-        fir_module.verify()
-
-        # 2. Extract the stencil portions into their own module.
-        extraction = ExtractStencilsPass()
-        extraction.apply(self.ctx, fir_module)
-        stencil_module = extraction.extracted_module
-        result.stencil_module = stencil_module
-        result.extracted_functions = list(extraction.extracted_functions)
-        fir_module.verify()
-        if stencil_module is not None:
-            stencil_module.verify()
-
-        if stencil_module is None or not result.extracted_functions:
-            return result
-
-        # 3. Target-specific transformation of the stencil module (and, for
-        #    GPU data management / DMP, coordinated edits of the FIR module).
-        if options.target is Target.STENCIL_GPU:
-            strategy_cls = (
-                GpuOptimisedDataPass
-                if options.gpu_data_strategy == "optimised"
-                else GpuHostRegisterPass
-            )
-            strategy = strategy_cls(stencil_module=stencil_module, tile=options.tile_sizes)
-            strategy.apply(self.ctx, fir_module)
-            fir_module.verify()
-            stencil_module.verify()
-            if options.lower_to_scf:
-                self._run(stencil_module, pipelines.GPU_STENCIL_PIPELINE, result)
-        elif options.target is Target.STENCIL_OPENMP:
-            if options.lower_to_scf:
-                self._run(
-                    stencil_module,
-                    pipelines.openmp_pipeline(options.omp_schedule,
-                                              options.omp_chunk_size),
-                    result,
-                )
-        elif options.target is Target.STENCIL_DMP:
-            dmp_pass = ConvertStencilToDMPPass(grid=options.grid)
-            dmp_pass.apply(self.ctx, stencil_module)
-            mpi_pass = ConvertDMPToMPIPass()
-            mpi_pass.apply(self.ctx, stencil_module)
-            stencil_module.verify()
-            if options.lower_to_scf:
-                self._run(stencil_module, pipelines.CPU_PIPELINE, result)
-        else:  # STENCIL_CPU
-            if options.lower_to_scf:
-                self._run(stencil_module, pipelines.CPU_PIPELINE, result)
-        return result
-
-    def _run(self, module: ModuleOp, pipeline: str, result: CompilationResult) -> None:
-        pm = PassManager(self.ctx, verify_each=True)
-        pm.add_pipeline(pipeline)
-        result.pass_statistics.extend(pm.run(module))
+        backend = registry.get(options.target)
+        artifact = backend.lower(source, options.to_backend_options(),
+                                 ctx=self.ctx)
+        return CompilationResult(
+            source=source,
+            options=options,
+            fir_module=artifact.fir_module,
+            stencil_module=artifact.stencil_module,
+            discovered_stencils=dict(artifact.discovered_stencils),
+            extracted_functions=list(artifact.extracted_functions),
+            pass_statistics=list(artifact.pass_statistics),
+        )
 
 
 def compile_fortran(source: str, target: Target = Target.STENCIL_CPU,
                     **option_overrides) -> CompilationResult:
-    """One-call API: compile Fortran ``source`` for ``target``."""
+    """One-call legacy API: compile Fortran ``source`` for ``target``.
+
+    .. deprecated::
+        Use ``repro.compile(source).lower(<backend>, **options)`` — the
+        fluent API with per-backend option schemas and session-level
+        artifact caching (see the README migration table).
+    """
+    warnings.warn(
+        "compile_fortran is deprecated; use "
+        "repro.compile(source).lower(<backend>, **options) instead "
+        "(see the README migration table)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     options = CompilerOptions(target=target, **option_overrides)
     return CompilerDriver(options).compile(source)
 

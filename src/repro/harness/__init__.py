@@ -11,12 +11,14 @@ from .experiments import (
     figure6_distributed,
     fusion_ablation,
     gpu_data_ablation,
+    harness_session,
     measured_openmp_scaling,
 )
 from .reporting import format_table, kernel_stats_table, run_all
 
 __all__ = [
     "ExperimentResult",
+    "harness_session",
     "figure2_single_core",
     "figure3_openmp_gauss_seidel",
     "figure4_openmp_pw_advection",

@@ -65,13 +65,25 @@ def kernel_stats_table(kernels) -> str:
 
 
 def run_all(names: Iterable[str] = ()) -> str:
-    """Run the requested experiments (all by default) and return their tables."""
-    from .experiments import ALL_EXPERIMENTS
+    """Run the requested experiments (all by default) and return their tables.
+
+    The final line reports the shared harness session's measured artifact
+    cache counters: experiments that recompile a (source, backend, options)
+    combination another experiment already compiled — e.g. the GPU data
+    ablation running standalone and again inside Figure 5 — hit the cache
+    instead of re-running discovery/extraction.
+    """
+    from .experiments import ALL_EXPERIMENTS, harness_session
 
     names = list(names) or list(ALL_EXPERIMENTS)
     sections: List[str] = []
     for name in names:
         sections.append(format_table(ALL_EXPERIMENTS[name]()))
+    stats = harness_session().cache_stats
+    sections.append(
+        f"# session artifact cache: {stats['hits']} hits, "
+        f"{stats['misses']} misses, {stats['artifacts']} artifacts"
+    )
     return "\n\n".join(sections)
 
 

@@ -1,0 +1,399 @@
+"""Tests for the backend registry and the fluent Program/Session layer.
+
+Covers the ISSUE 3 acceptance surface: backend registration round-trips,
+unknown-backend error messages, per-backend option schemas rejecting
+mismatched options, artifact-cache hit/miss counters, ``run_batch``
+determinism, all five targets through the fluent API, and the
+``compile_fortran`` deprecation shim producing identical modules.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    Backend,
+    BackendRegistry,
+    CpuOptions,
+    DmpOptions,
+    GpuOptions,
+    OpenMPOptions,
+    OptionError,
+    Session,
+    UnknownBackendError,
+    registry,
+)
+from repro.apps import gauss_seidel, pw_advection
+from repro.compiler import CompilerOptions, Target, compile_fortran
+from repro.ir import print_module
+
+
+@pytest.fixture
+def session():
+    return Session()
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+
+class TestBackendRegistry:
+    def test_default_backends_registered(self):
+        assert registry.names() == ("cpu", "dmp", "flang-only", "gpu", "openmp")
+
+    def test_registration_round_trip(self):
+        class NullBackend(Backend):
+            name = "null"
+            aliases = ("nothing",)
+            uses_stencil_flow = False
+
+        fresh = BackendRegistry()
+        backend = fresh.register(NullBackend())
+        assert fresh.get("null") is backend
+        assert fresh.get("nothing") is backend          # alias resolution
+        assert "null" in fresh and len(fresh) == 1
+        assert list(fresh) == [backend]
+
+    def test_duplicate_registration_rejected_unless_replace(self):
+        class NullBackend(Backend):
+            name = "null"
+            uses_stencil_flow = False
+
+        fresh = BackendRegistry()
+        first = fresh.register(NullBackend())
+        with pytest.raises(ValueError, match="already registered"):
+            fresh.register(NullBackend())
+        second = fresh.register(NullBackend(), replace=True)
+        assert fresh.get("null") is second is not first
+
+    def test_unknown_backend_error_lists_valid_names(self):
+        with pytest.raises(UnknownBackendError) as exc:
+            registry.get("tpu")
+        message = str(exc.value)
+        assert "'tpu'" in message
+        for name in ("cpu", "dmp", "flang-only", "gpu", "openmp"):
+            assert name in message
+
+    def test_legacy_target_enum_and_alias_resolve(self):
+        assert registry.get(Target.STENCIL_OPENMP) is registry.get("openmp")
+        assert registry.get("stencil-gpu") is registry.get("gpu")
+        assert registry.get(Target.FLANG_ONLY) is registry.get("flang-only")
+
+    def test_custom_backend_compiles_through_session(self):
+        """A registered backend is immediately usable by a session."""
+
+        class RecordingCpuBackend(Backend):
+            name = "recording-cpu"
+            options_cls = CpuOptions
+            lowered = 0
+
+            def transform(self, artifact, ctx):
+                type(self).lowered += 1
+
+        fresh = BackendRegistry()
+        fresh.register(RecordingCpuBackend())
+        sess = Session(registry=fresh)
+        compiled = sess.compile(gauss_seidel.generate_source(8, 1)).lower(
+            "recording-cpu")
+        assert RecordingCpuBackend.lowered == 1
+        assert compiled.discovered_stencils == {"gauss_seidel": 1}
+
+
+# ---------------------------------------------------------------------------
+# Option schemas: mismatched / invalid options are rejected per backend
+# ---------------------------------------------------------------------------
+
+
+class TestOptionSchemas:
+    def test_cpu_backend_rejects_dmp_grid(self, session, small_gs_source):
+        with pytest.raises(OptionError, match="backend 'cpu'.*'grid'"):
+            session.compile(small_gs_source).lower("cpu", grid=(4, 4))
+
+    def test_openmp_backend_rejects_gpu_tiles(self, session, small_gs_source):
+        with pytest.raises(OptionError, match="backend 'openmp'.*'tile_sizes'"):
+            session.compile(small_gs_source).lower("openmp", tile_sizes=(8, 8))
+
+    def test_error_lists_valid_option_names(self, session, small_gs_source):
+        with pytest.raises(OptionError, match="valid options: .*lower_to_scf"):
+            session.compile(small_gs_source).lower("cpu", bogus=1)
+
+    def test_unknown_gpu_data_strategy_rejected(self):
+        with pytest.raises(OptionError, match="data_strategy"):
+            GpuOptions(data_strategy="unified")
+
+    def test_legacy_gpu_data_strategy_rejected(self, small_gs_source):
+        """The silent GpuHostRegisterPass fallthrough is gone: the legacy flat
+        options now validate the strategy too."""
+        with pytest.raises(ValueError, match="gpu_data_strategy"):
+            CompilerOptions(target=Target.STENCIL_GPU,
+                            gpu_data_strategy="unified")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="gpu_data_strategy"):
+                compile_fortran(small_gs_source, Target.STENCIL_GPU,
+                                gpu_data_strategy="unified")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"schedule": "fastest"},
+        {"chunk_size": 0},
+        {"threads": 0},
+        {"execution_mode": "warp-speed"},
+    ])
+    def test_invalid_openmp_options_rejected(self, kwargs):
+        with pytest.raises(OptionError):
+            OpenMPOptions(**kwargs)
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(OptionError, match="grid"):
+            DmpOptions(grid=(0, 2))
+
+    def test_options_normalise_sequences_for_hashing(self):
+        assert DmpOptions(grid=[2, 2]).grid == (2, 2)
+        assert hash(GpuOptions(tile_sizes=[16, 16, 1])) == hash(
+            GpuOptions(tile_sizes=(16, 16, 1)))
+
+    def test_mismatch_rejected_even_with_options_object(self, session,
+                                                        small_gs_source):
+        """Overrides are checked against the schema in both make_options
+        branches — an options object must not bypass the named error."""
+        with pytest.raises(OptionError, match="backend 'cpu'.*'grid'"):
+            session.lower(small_gs_source, "cpu", CpuOptions(), grid=(4, 4))
+
+
+# ---------------------------------------------------------------------------
+# Session: artifact cache + batch execution
+# ---------------------------------------------------------------------------
+
+
+class TestSessionCache:
+    def test_hit_and_miss_counters(self, session, small_gs_source):
+        program = session.compile(small_gs_source)
+        first = program.lower("cpu")
+        assert session.cache_stats == {"hits": 0, "misses": 1, "artifacts": 1}
+        second = program.lower("cpu")
+        assert session.cache_stats == {"hits": 1, "misses": 1, "artifacts": 1}
+        assert second.artifact is first.artifact
+
+    def test_different_backend_or_options_miss(self, session, small_gs_source):
+        program = session.compile(small_gs_source)
+        program.lower("cpu")
+        program.lower("openmp")                      # different backend
+        program.lower("cpu", fuse_stencils=False)    # different compile option
+        stats = session.cache_stats
+        assert stats["misses"] == 3 and stats["hits"] == 0
+
+    def test_runtime_derivations_share_the_artifact(self, session,
+                                                    small_gs_source):
+        """execution_mode/threads are runtime policy: deriving them must be a
+        cache hit, not a recompile."""
+        compiled = session.compile(small_gs_source).lower("cpu")
+        derived = compiled.vectorize(threads=2)
+        assert derived.options.execution_mode == "vectorize"
+        assert derived.options.threads == 2
+        assert derived.artifact is compiled.artifact
+        assert session.cache_stats["hits"] == 1
+        assert compiled.options.execution_mode == "interpret"  # immutable
+
+    def test_cached_metadata_immune_to_caller_mutation(self, session,
+                                                       small_gs_source):
+        """Handle properties hand out copies: mutating them must not corrupt
+        the session-cached artifact other handles share."""
+        first = session.compile(small_gs_source).lower("cpu")
+        first.extracted_functions.clear()
+        first.discovered_stencils.clear()
+        second = session.compile(small_gs_source).lower("cpu")
+        assert second.artifact is first.artifact      # still a cache hit
+        assert second.extracted_functions
+        assert second.discovered_stencils == {"gauss_seidel": 1}
+
+    def test_clear_cache_resets(self, session, small_gs_source):
+        session.compile(small_gs_source).lower("cpu")
+        session.clear_cache()
+        assert session.cache_stats == {"hits": 0, "misses": 0, "artifacts": 0}
+
+    def test_default_session_behind_repro_compile(self, small_gs_source):
+        program = repro.compile(small_gs_source)
+        assert program.session is repro.default_session()
+
+    def test_harness_shows_measured_cache_hits(self):
+        """Repeated harness compiles of the same (source, backend, options)
+        hit the shared session cache (acceptance criterion)."""
+        from repro.harness import gpu_data_ablation, harness_session
+
+        before = harness_session().cache_stats
+        gpu_data_ablation(n=9, niters=2)
+        mid = harness_session().cache_stats
+        assert mid["misses"] >= before["misses"] + 2   # two strategies compiled
+        gpu_data_ablation(n=9, niters=2)
+        after = harness_session().cache_stats
+        assert after["hits"] >= mid["hits"] + 2        # both were cache hits
+        assert after["misses"] == mid["misses"]
+
+
+class TestRunBatch:
+    def test_batch_matches_sequential_bitwise(self, session):
+        n, iters, count = 10, 2, 6
+        source = gauss_seidel.generate_source(n, niters=iters)
+        compiled = session.compile(source).lower("cpu",
+                                                 execution_mode="vectorize")
+        batch_args = [(gauss_seidel.initial_condition(n, seed=i),)
+                      for i in range(count)]
+        sequential = [gauss_seidel.initial_condition(n, seed=i)
+                      for i in range(count)]
+
+        compiled.run_batch("gauss_seidel", batch_args, workers=4)
+        for work in sequential:
+            compiled.run("gauss_seidel", work)
+        for i, work in enumerate(sequential):
+            assert np.array_equal(batch_args[i][0], work), f"arg set {i}"
+
+    def test_results_in_input_order(self, session):
+        n = 8
+        source = gauss_seidel.generate_source(n, niters=1)
+        compiled = session.compile(source).lower("cpu")
+        arg_sets = [(gauss_seidel.initial_condition(n, seed=i),)
+                    for i in range(5)]
+        results = session.run_batch(compiled, "gauss_seidel", arg_sets,
+                                    workers=3)
+        assert len(results) == 5      # one (empty) return list per arg set
+
+    def test_empty_batch(self, session, small_gs_source):
+        compiled = session.compile(small_gs_source).lower("cpu")
+        assert session.run_batch(compiled, "gauss_seidel", []) == []
+
+    def test_no_deadlock_when_workers_equal_interpreter_threads(self, session):
+        """Batch dispatch must not share a pool with the interpreters' tiled
+        executors: workers == threads used to deadlock on the count-keyed
+        process-wide pool."""
+        n = 12
+        source = gauss_seidel.generate_source(n, niters=1)
+        compiled = session.compile(source).lower(
+            "openmp", lower_to_scf=True).vectorize(threads=2)
+        batch = [(gauss_seidel.initial_condition(n, seed=i),)
+                 for i in range(4)]
+        results = compiled.run_batch("gauss_seidel", batch, workers=2)
+        assert len(results) == 4
+
+
+# ---------------------------------------------------------------------------
+# Fluent Program layer: all five targets
+# ---------------------------------------------------------------------------
+
+
+class TestFluentPrograms:
+    @pytest.mark.parametrize("backend,kwargs", [
+        ("cpu", {}),
+        ("cpu", {"lower_to_scf": True}),
+        ("openmp", {"lower_to_scf": True}),
+        ("gpu", {}),
+        ("gpu", {"data_strategy": "host_register"}),
+    ])
+    def test_stencil_backends_match_jacobi(self, session, backend, kwargs):
+        n, iters = 10, 2
+        program = session.compile(gauss_seidel.generate_source(n, iters))
+        work = gauss_seidel.initial_condition(n)
+        expected = gauss_seidel.reference_jacobi(work, iters)
+        program.lower(backend, **kwargs).run("gauss_seidel", work)
+        assert np.allclose(work, expected)
+
+    def test_flang_only_backend_matches_gauss_seidel(self, session):
+        n, iters = 8, 2
+        program = session.compile(gauss_seidel.generate_source(n, iters))
+        work = gauss_seidel.initial_condition(n)
+        expected = gauss_seidel.reference_gauss_seidel(work, iters)
+        program.lower("flang-only").run("gauss_seidel", work)
+        assert np.allclose(work, expected)
+
+    def test_dmp_backend_through_functional_check(self):
+        """The dmp target compiles and runs through the new API end to end
+        (the harness functional check is fully migrated)."""
+        from repro.harness import distributed_functional_check
+
+        summary = distributed_functional_check(n_local=6, ranks=(2, 2),
+                                               niters=1)
+        assert summary["max_interior_error"] < 1e-12
+        assert summary["messages"] > 0
+
+    def test_issue_fluent_chain(self, session):
+        """The exact derivation chain from the issue: lower with schedule
+        options, derive a vectorized multi-threaded handle, run."""
+        n = 16
+        program = session.compile(pw_advection.generate_source(n))
+        u, v, w, su, sv, sw = pw_advection.initial_fields(n)
+        interp = (program.lower("openmp", lower_to_scf=True,
+                                schedule="dynamic", chunk_size=8)
+                         .vectorize(threads=4)
+                         .run("pw_advection", u, v, w, su, sv, sw))
+        rsu, rsv, rsw = pw_advection.reference(u, v, w)
+        assert np.allclose(su, rsu)
+        assert np.allclose(sv, rsv)
+        assert np.allclose(sw, rsw)
+        assert interp.stats["vectorized_sweeps"] >= 1
+
+    def test_retarget_compiles_other_backend(self, session, small_gs_source):
+        compiled = session.compile(small_gs_source).lower("cpu")
+        gpu = compiled.retarget("gpu", data_strategy="host_register")
+        assert gpu.backend_name == "gpu"
+        assert gpu.options.data_strategy == "host_register"
+        assert session.cache_stats["misses"] == 2
+
+    def test_interpreter_override_validation(self, session, small_gs_source):
+        """Overrides are validated at override time; falsy values no longer
+        silently fall back to the compiled defaults."""
+        compiled = session.compile(small_gs_source).lower("cpu")
+        with pytest.raises(OptionError, match="execution_mode"):
+            compiled.interpreter(execution_mode="")
+        with pytest.raises(OptionError, match="threads"):
+            compiled.interpreter(threads=0)
+        interp = compiled.interpreter(execution_mode="vectorize", threads=2)
+        assert interp.execution_mode == "vectorize"
+
+
+# ---------------------------------------------------------------------------
+# Legacy compile_fortran shim
+# ---------------------------------------------------------------------------
+
+
+class TestCompatShim:
+    def test_compile_fortran_warns_deprecation(self, small_gs_source):
+        with pytest.warns(DeprecationWarning, match="repro.compile"):
+            compile_fortran(small_gs_source, Target.STENCIL_CPU)
+
+    @pytest.mark.parametrize("target,backend,kwargs,new_kwargs", [
+        (Target.FLANG_ONLY, "flang-only", {}, {}),
+        (Target.STENCIL_CPU, "cpu", {"lower_to_scf": True},
+         {"lower_to_scf": True}),
+        (Target.STENCIL_OPENMP, "openmp",
+         {"lower_to_scf": True, "omp_schedule": "dynamic", "omp_chunk_size": 4},
+         {"lower_to_scf": True, "schedule": "dynamic", "chunk_size": 4}),
+        (Target.STENCIL_GPU, "gpu", {"gpu_data_strategy": "host_register"},
+         {"data_strategy": "host_register"}),
+        (Target.STENCIL_DMP, "dmp", {"grid": (2, 2)}, {"grid": (2, 2)}),
+    ])
+    def test_shim_produces_identical_modules(self, session, small_gs_source,
+                                             target, backend, kwargs,
+                                             new_kwargs):
+        with pytest.warns(DeprecationWarning):
+            legacy = compile_fortran(small_gs_source, target, **kwargs)
+        fluent = session.compile(small_gs_source).lower(backend, **new_kwargs)
+        assert print_module(legacy.fir_module) == print_module(fluent.fir_module)
+        if legacy.stencil_module is None:
+            assert fluent.stencil_module is None
+        else:
+            assert print_module(legacy.stencil_module) == print_module(
+                fluent.stencil_module)
+        assert legacy.discovered_stencils == fluent.discovered_stencils
+        assert legacy.extracted_functions == fluent.extracted_functions
+
+    def test_legacy_interpreter_rejects_falsy_overrides(self, small_gs_source):
+        with pytest.warns(DeprecationWarning):
+            result = compile_fortran(small_gs_source, Target.STENCIL_CPU,
+                                     execution_mode="vectorize", threads=2)
+        with pytest.raises(ValueError, match="execution_mode"):
+            result.interpreter(execution_mode="")
+        with pytest.raises(ValueError, match="threads"):
+            result.interpreter(threads=0)
+        # None still means "use the compiled defaults".
+        interp = result.interpreter()
+        assert interp.execution_mode == "vectorize"
+        assert interp.threads == 2
