@@ -2,13 +2,36 @@
 
 import pytest
 
-from repro.harness import distributed_functional_check, figure6_distributed, format_table
+from repro.harness import (
+    distributed_functional_check,
+    figure6_distributed,
+    format_table,
+    measured_distributed_scaling,
+)
 
 
 def test_simulated_multirank_execution(benchmark):
     outcome = benchmark(distributed_functional_check, 6, (2, 2), 2)
     assert outcome["max_interior_error"] < 1e-12
     assert outcome["messages"] > 0
+
+
+def test_measured_multirank_scaling_series():
+    """The measured 1→8-rank series: every rank count reproduces the global
+    reference to 1e-12 on the interior, with halo traffic growing with the
+    number of rank-rank interfaces."""
+    measured = measured_distributed_scaling(
+        rank_grids=((1, 1), (2, 1), (2, 2), (4, 2)), n=16, niters=2, repeats=1
+    )
+    ranks_seen = [row[0] for row in measured.rows]
+    assert ranks_seen == [1, 2, 4, 8]
+    for ranks, grid, seconds, mcells, speedup, error in measured.rows:
+        assert error < 1e-12, (ranks, error)
+        assert seconds > 0 and mcells > 0
+    messages = {row[0]: measured.notes[f"ranks={row[0]}"]["messages"]
+                for row in measured.rows}
+    assert messages[1] == 0
+    assert messages[2] < messages[4] < messages[8]
 
 
 def test_figure6_table_regeneration(benchmark):
@@ -23,3 +46,9 @@ def test_figure6_table_regeneration(benchmark):
         assert hand[nodes] > auto[nodes]
     assert auto[64] > auto[1] * 10
     assert hand[64] / hand[1] >= auto[64] / auto[1]
+    # The last model-only figure now carries a measured multi-rank series
+    # (vectorized in-process ranks, real halo exchanges) next to the model
+    # curves, validated against the global reference.
+    measured = [row for row in result.rows if row[2] == "stencil_measured"]
+    assert [row[1] for row in measured] == [1, 2, 4, 8]
+    assert result.notes["measured"]["max_interior_error"] < 1e-12

@@ -2,19 +2,20 @@
 """Automatic distributed-memory parallelisation of serial Fortran (Figure 6).
 
 The unchanged Gauss-Seidel source is compiled through the DMP and MPI dialects
-and executed on a 2x2 simulated communicator (four in-process ranks with real
-halo exchanges); the result is compared against the global numpy reference,
-and the paper-scale scaling figure is regenerated from the machine model.
+and executed on a 2x2 simulated communicator — four in-process *vectorized*
+ranks with real halo exchanges, orchestrated end to end by the fluent
+``.distribute(...)`` handle: ``run(global_field)`` scatters the global domain
+(physical ghost planes included), runs every rank concurrently on the
+persistent rank pool, and gathers the result.  The gathered field is compared
+against the global numpy reference, and the paper-scale scaling figure is
+regenerated from the machine model next to the measured multi-rank series.
 """
-
-import threading
 
 import numpy as np
 
 import repro
 from repro.apps import gauss_seidel
 from repro.harness import figure6_distributed, format_table
-from repro.runtime import CartesianDecomposition, Interpreter, SimulatedCommunicator
 
 LOCAL_N = 12      # interior cells per rank per decomposed dimension
 GRID = (2, 2)     # process grid
@@ -22,51 +23,31 @@ NITERS = 3
 
 
 def main() -> None:
-    num_ranks = GRID[0] * GRID[1]
     global_shape = (LOCAL_N * GRID[0], LOCAL_N * GRID[1], LOCAL_N)
     rng = np.random.default_rng(42)
     global_field = np.asfortranarray(rng.random(global_shape))
     reference = gauss_seidel.reference_jacobi(global_field, NITERS)
 
-    # One compilation, shared by every rank (same unmodified serial source).
-    source = gauss_seidel.generate_source(LOCAL_N + 2, niters=1)
-    compiled = repro.compile(source).lower("dmp", grid=GRID)
+    # One compilation per distinct rank-local shape, shared by every rank
+    # that owns a box of that shape (all of them, here: the domain divides).
+    program = repro.compile(
+        gauss_seidel.generate_source_shaped((LOCAL_N + 2,) * 3, niters=1)
+    )
+    distributed = (
+        program.lower("dmp", grid=GRID, execution_mode="vectorize")
+               .distribute(source_builder=gauss_seidel.generate_source_shaped)
+    )
 
-    comm = SimulatedCommunicator(num_ranks)
-    decomposition = CartesianDecomposition(global_shape, GRID, (0, 1))
+    result = distributed.run(global_field, iterations=NITERS)
+    max_err = result.max_interior_error(reference, margin=NITERS)
 
-    locals_by_rank = {}
-    for rank in range(num_ranks):
-        (xl, xu), (yl, yu), _ = decomposition.local_bounds(rank)
-        local = np.zeros((LOCAL_N + 2,) * 3, order="F")
-        local[1:-1, 1:-1, 1:-1] = global_field[xl:xu, yl:yu, :]
-        locals_by_rank[rank] = local
-
-    def run_rank(rank: int) -> None:
-        interp = compiled.interpreter(comm=comm, rank=rank, decomposition=decomposition)
-        for _ in range(NITERS):
-            interp.call("gauss_seidel", locals_by_rank[rank])
-
-    threads = [threading.Thread(target=run_rank, args=(r,)) for r in range(num_ranks)]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-
-    # Compare the sub-domain interiors far enough from the global boundary.
-    margin = NITERS
-    max_err = 0.0
-    for rank in range(num_ranks):
-        (xl, xu), (yl, yu), _ = decomposition.local_bounds(rank)
-        gx0, gx1 = max(xl, margin), min(xu, global_shape[0] - margin)
-        gy0, gy1 = max(yl, margin), min(yu, global_shape[1] - margin)
-        mine = locals_by_rank[rank][1 + gx0 - xl:1 + gx1 - xl,
-                                    1 + gy0 - yl:1 + gy1 - yl, 1 + margin:-1 - margin]
-        ref = reference[gx0:gx1, gy0:gy1, margin:-margin]
-        max_err = max(max_err, float(np.abs(mine - ref).max()))
-
-    print(f"ranks={num_ranks}  halo messages={comm.message_count}  "
-          f"bytes exchanged={comm.bytes_sent:,}  max interior error={max_err:.2e}")
+    print(f"ranks={result.ranks}  halo messages={result.messages}  "
+          f"bytes exchanged={result.bytes:,}  max interior error={max_err:.2e}")
+    for stats in result.rank_stats:
+        print(f"  rank {stats.rank}: bounds={stats.bounds}  "
+              f"messages={stats.messages}  bytes={stats.bytes:,}  "
+              f"halo={stats.halo_seconds * 1e3:.2f}ms  "
+              f"kernel={stats.kernel_seconds * 1e3:.2f}ms")
 
     print()
     print(format_table(figure6_distributed(validate=False)))

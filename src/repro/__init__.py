@@ -30,6 +30,7 @@ _LAZY_EXPORTS = {
     "compile": "repro.api",
     "Program": "repro.api",
     "CompiledProgram": "repro.api",
+    "DistributedProgram": "repro.api",
     "CompiledArtifact": "repro.api",
     "Session": "repro.api",
     "default_session": "repro.api",

@@ -48,6 +48,7 @@ from .options import (
     OpenMPOptions,
     OptionError,
 )
+from .distributed import DistributedProgram
 from .program import CompiledProgram, Program, source_fingerprint
 from .session import Session, default_session
 
@@ -66,6 +67,7 @@ __all__ = [
     "compile",
     "Program",
     "CompiledProgram",
+    "DistributedProgram",
     "CompiledArtifact",
     "Session",
     "default_session",

@@ -218,6 +218,28 @@ class CompiledProgram:
         """Compile the same source for a different backend (fresh options)."""
         return self._session.lower(self._source, backend, None, **overrides)
 
+    def distribute(self, ranks: Optional[int] = None, *,
+                   pool_size: Optional[int] = None,
+                   source_builder=None,
+                   entry: Optional[str] = None,
+                   execution_mode: Optional[str] = None,
+                   threads: Optional[int] = None,
+                   timeout: float = 30.0):
+        """Derive a multi-rank execution plan (dmp backend only).
+
+        The process grid comes from the compiled :class:`DmpOptions` (a
+        compile-time cache-key field); ``ranks`` merely asserts the expected
+        rank count, and ``pool_size`` / ``execution_mode`` / ``threads`` are
+        runtime-only.  See :class:`repro.api.DistributedProgram`.
+        """
+        from .distributed import DistributedProgram
+
+        return DistributedProgram(
+            self, ranks=ranks, pool_size=pool_size,
+            source_builder=source_builder, entry=entry,
+            execution_mode=execution_mode, threads=threads, timeout=timeout,
+        )
+
     # -- execution -----------------------------------------------------------
 
     def interpreter(

@@ -77,6 +77,39 @@ end subroutine {name}
 """
 
 
+def generate_source_shaped(shape: Tuple[int, int, int], niters: int = 1,
+                           name: str = "gauss_seidel") -> str:
+    """Fortran source for the sweep over a (possibly non-cubic) local box.
+
+    The distributed executor compiles one module per distinct rank-local
+    padded shape, so non-divisible global domains — where ranks own boxes of
+    different sizes — lower through exactly the same pipeline as the cubic
+    benchmark.  ``shape`` is the full local extent including ghost planes.
+    """
+    n1, n2, n3 = (int(s) for s in shape)
+    return f"""
+subroutine {name}(u)
+  implicit none
+  integer, parameter :: n1 = {n1}
+  integer, parameter :: n2 = {n2}
+  integer, parameter :: n3 = {n3}
+  integer, parameter :: niters = {niters}
+  real(kind=8), intent(inout) :: u(n1, n2, n3)
+  integer :: i, j, k, it
+  do it = 1, niters
+    do k = 2, n3 - 1
+      do j = 2, n2 - 1
+        do i = 2, n1 - 1
+          u(i, j, k) = (u(i-1, j, k) + u(i+1, j, k) + u(i, j-1, k) &
+                      + u(i, j+1, k) + u(i, j, k-1) + u(i, j, k+1)) / 6.0d0
+        end do
+      end do
+    end do
+  end do
+end subroutine {name}
+"""
+
+
 def initial_condition(n: int, seed: int = 0) -> np.ndarray:
     """A reproducible initial field: random interior, fixed hot/cold faces."""
     rng = np.random.default_rng(seed)
@@ -146,6 +179,7 @@ PAPER_PROBLEM_SIZES = {
 __all__ = [
     "GaussSeidelProblem",
     "generate_source",
+    "generate_source_shaped",
     "initial_condition",
     "reference_jacobi",
     "reference_gauss_seidel",

@@ -12,6 +12,7 @@ from .experiments import (
     fusion_ablation,
     gpu_data_ablation,
     harness_session,
+    measured_distributed_scaling,
     measured_openmp_scaling,
 )
 from .reporting import format_table, kernel_stats_table, run_all
@@ -25,6 +26,7 @@ __all__ = [
     "measured_openmp_scaling",
     "figure5_gpu",
     "figure6_distributed",
+    "measured_distributed_scaling",
     "gpu_data_ablation",
     "fusion_ablation",
     "distributed_functional_check",

@@ -1,5 +1,11 @@
 """Execution substrates: IR interpreter, simulated GPU/MPI and machine models."""
 
+from .distributed_executor import (
+    DistributedExecutor,
+    DistributedRunResult,
+    RankStats,
+    get_rank_pool,
+)
 from .gpu_runtime import GPUTransfer, KernelLaunch, SimulatedGPU
 from .interpreter import FieldValue, Frame, Interpreter, InterpreterError, TempValue
 from .kernel_compiler import (
@@ -41,6 +47,10 @@ __all__ = [
     "SimulatedCommunicator",
     "CartesianDecomposition",
     "MPIError",
+    "DistributedExecutor",
+    "DistributedRunResult",
+    "RankStats",
+    "get_rank_pool",
     "ParallelExecutor",
     "SCHEDULE_KINDS",
     "plan_tiles",

@@ -1,0 +1,329 @@
+"""Distributed multi-rank execution engine.
+
+The paper's headline result (Figure 6) is distributed-memory Gauss-Seidel
+lowered through the DMP dialect to MPI.  This module owns that execution
+path end to end: a :class:`DistributedExecutor` scatters a global
+Fortran-ordered field over a :class:`repro.runtime.CartesianDecomposition`
+(filling the *physical* ghost planes with the global data that borders each
+sub-domain), runs one interpreter per rank concurrently on a persistent
+:class:`repro.runtime.ParallelExecutor` pool, drives every halo exchange
+through one :class:`repro.runtime.SimulatedCommunicator`, and gathers the
+owned interiors back into a global array — returning per-rank statistics
+(messages, bytes, halo wall-time, kernel wall-time) alongside the result.
+
+The executor is deliberately compiler-agnostic: it never imports the fluent
+API.  Callers hand it a ``make_interpreter(rank, local_shape, comm,
+decomposition)`` factory; :class:`repro.api.DistributedProgram` supplies one
+that compiles through a session (one artifact per distinct rank-local
+shape, memoized) and builds vectorized interpreters.
+
+Rank tasks block inside ``comm.receive`` while they wait for neighbours, so
+they must **all** be runnable concurrently: the executor sizes its pool to
+at least the rank count, and keeps those pools separate from the count-keyed
+tile pools of :func:`repro.runtime.parallel_executor.get_executor` — a rank
+blocked in a receive must never occupy a worker that one of its own tiled
+sweeps needs (the same layering rule :meth:`repro.api.Session.run_batch`
+follows for batch dispatch).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .interpreter import Interpreter
+from .mpi_runtime import CartesianDecomposition, MPIError, SimulatedCommunicator
+from .parallel_executor import ParallelExecutor
+
+#: Interpreter factory signature: (rank, padded local shape, communicator,
+#: decomposition) -> configured Interpreter for that rank.
+InterpreterFactory = Callable[
+    [int, Tuple[int, ...], SimulatedCommunicator, CartesianDecomposition],
+    Interpreter,
+]
+
+
+@dataclass
+class RankStats:
+    """Measured execution statistics of one simulated rank."""
+
+    rank: int
+    #: Owned global ``[lb, ub)`` bounds per dimension (no ghost planes).
+    bounds: Tuple[Tuple[int, int], ...]
+    #: Full local array shape including ghost planes.
+    local_shape: Tuple[int, ...]
+    messages: int = 0
+    bytes: int = 0
+    halo_seconds: float = 0.0
+    kernel_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+
+@dataclass
+class DistributedRunResult:
+    """The gathered global field plus communication/compute accounting."""
+
+    field: np.ndarray
+    grid: Tuple[int, ...]
+    ranks: int
+    iterations: int
+    rank_stats: List[RankStats] = field(default_factory=list)
+    #: Communicator-wide totals (every halo message of every rank).
+    messages: int = 0
+    bytes: int = 0
+    #: Wall-clock of the whole scatter→ranks→gather run.
+    seconds: float = 0.0
+
+    def max_interior_error(self, reference: np.ndarray, margin: int = 1) -> float:
+        """Max |field − reference| at least ``margin`` cells from the global
+        boundary — the region where boundary-treatment differences between
+        the rank-local kernels and a fixed-boundary reference cannot reach
+        (the difference propagates inwards one cell per sweep)."""
+        reference = np.asarray(reference)
+        if reference.shape != self.field.shape:
+            raise ValueError(
+                f"reference shape {reference.shape} does not match gathered "
+                f"field shape {self.field.shape}"
+            )
+        interior = tuple(slice(margin, s - margin) for s in self.field.shape)
+        if any(s.start >= s.stop for s in interior):
+            raise ValueError(
+                f"margin {margin} leaves no interior in shape {self.field.shape}"
+            )
+        return float(np.abs(self.field[interior] - reference[interior]).max())
+
+
+#: Rank-orchestration pools, one per worker count.  Deliberately NOT the
+#: process-wide tile pools of ``get_executor``: rank tasks block in
+#: ``comm.receive`` waiting on other ranks, so sharing a pool with the tiled
+#: sweeps those ranks dispatch would deadlock the moment every worker holds
+#: a blocked rank.
+_RANK_POOLS: Dict[int, ParallelExecutor] = {}
+#: One gate per pool: a distributed run needs *every* one of its rank tasks
+#: runnable at once, so two concurrent runs must not interleave their rank
+#: tasks on one pool (the first run's blocked receives would starve the
+#: second run's queued ranks — and, transitively, their own neighbours).
+#: Runs sharing a worker count therefore execute one at a time.
+_RANK_POOL_GATES: Dict[int, threading.Lock] = {}
+_RANK_POOLS_LOCK = threading.Lock()
+
+
+def get_rank_pool(workers: int) -> ParallelExecutor:
+    """The shared persistent rank-orchestration pool for ``workers`` slots."""
+    with _RANK_POOLS_LOCK:
+        pool = _RANK_POOLS.get(workers)
+        if pool is None:
+            pool = ParallelExecutor(workers)
+            _RANK_POOLS[workers] = pool
+            _RANK_POOL_GATES[workers] = threading.Lock()
+        return pool
+
+
+def _rank_pool_gate(workers: int) -> threading.Lock:
+    with _RANK_POOLS_LOCK:
+        return _RANK_POOL_GATES.setdefault(workers, threading.Lock())
+
+
+class DistributedExecutor:
+    """Orchestrates scatter → per-rank execution → halo exchange → gather.
+
+    ``grid`` is the Cartesian process grid the leading dimensions of the
+    global field are decomposed over (``(2, 2)`` → four ranks, dimensions 0
+    and 1 split in two).  ``halo`` is the ghost-plane width every local
+    array is padded with on *every* dimension (the stencil's widest access
+    offset).  ``pool_size`` requests extra pool workers beyond the rank
+    count — the effective worker total is ``max(num_ranks, pool_size)``,
+    never below the rank count, because a rank blocked in a halo receive
+    must not starve the neighbour whose send it waits for.
+    ``timeout`` bounds every blocking receive/barrier so a genuinely
+    deadlocked configuration fails with the communicator's pending-message
+    diagnostic instead of hanging.
+    """
+
+    def __init__(self, grid: Sequence[int], *, halo: int = 1,
+                 decomposed_dims: Optional[Sequence[int]] = None,
+                 pool_size: Optional[int] = None,
+                 timeout: float = 30.0):
+        self.grid = tuple(int(g) for g in grid)
+        if not self.grid or any(g < 1 for g in self.grid):
+            raise MPIError(f"process grid must be positive, got {self.grid}")
+        if halo < 0:
+            raise MPIError(f"halo width must be >= 0, got {halo}")
+        self.halo = int(halo)
+        self.decomposed_dims = (
+            tuple(decomposed_dims) if decomposed_dims is not None
+            else tuple(range(len(self.grid)))
+        )
+        if len(self.decomposed_dims) != len(self.grid):
+            raise MPIError(
+                "decomposed_dims and grid must have equal length, got "
+                f"{self.decomposed_dims} vs {self.grid}"
+            )
+        self.num_ranks = 1
+        for extent in self.grid:
+            self.num_ranks *= extent
+        if pool_size is not None and pool_size < 1:
+            raise MPIError(f"pool_size must be >= 1, got {pool_size}")
+        self.pool_workers = max(self.num_ranks,
+                                pool_size if pool_size is not None else 1)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # Decomposition / scatter / gather
+    # ------------------------------------------------------------------
+
+    def decomposition_for(self, global_shape: Sequence[int]) -> CartesianDecomposition:
+        """The block decomposition of ``global_shape`` over this grid."""
+        global_shape = tuple(int(s) for s in global_shape)
+        for position, dim in enumerate(self.decomposed_dims):
+            if dim >= len(global_shape):
+                raise MPIError(
+                    f"decomposed dimension {dim} out of range for a "
+                    f"{len(global_shape)}-d field"
+                )
+            if global_shape[dim] < self.grid[position]:
+                raise MPIError(
+                    f"cannot split extent {global_shape[dim]} of dimension "
+                    f"{dim} over {self.grid[position]} ranks"
+                )
+        return CartesianDecomposition(global_shape, self.grid,
+                                      self.decomposed_dims)
+
+    def scatter(self, global_field: np.ndarray,
+                decomposition: CartesianDecomposition) -> Dict[int, np.ndarray]:
+        """Per-rank padded local arrays with physical ghost planes filled.
+
+        Each local array is the rank's owned box padded by ``halo`` ghost
+        planes on every side.  Ghost *faces* that overlap the global domain
+        (rank-rank interfaces, before the first halo exchange replaces them)
+        are filled with the bordering global data; faces beyond the global
+        boundary stay zero, matching the fixed zero-flux treatment of the
+        reference kernels.  Corner/edge ghosts stay zero — an orthogonal
+        stencil never reads them.
+        """
+        h = self.halo
+        global_shape = decomposition.global_shape
+        locals_by_rank: Dict[int, np.ndarray] = {}
+        for rank in range(self.num_ranks):
+            bounds = decomposition.local_bounds(rank)
+            interior_shape = tuple(ub - lb for lb, ub in bounds)
+            padded = tuple(extent + 2 * h for extent in interior_shape)
+            local = np.zeros(padded, dtype=global_field.dtype, order="F")
+            interior = tuple(slice(h, h + extent) for extent in interior_shape)
+            owned = tuple(slice(lb, ub) for lb, ub in bounds)
+            local[interior] = global_field[owned]
+            if h:
+                for dim, (lb, ub) in enumerate(bounds):
+                    face = list(interior)
+                    source = list(owned)
+                    if lb >= h:
+                        face[dim] = slice(0, h)
+                        source[dim] = slice(lb - h, lb)
+                        local[tuple(face)] = global_field[tuple(source)]
+                    if ub + h <= global_shape[dim]:
+                        face[dim] = slice(h + interior_shape[dim], None)
+                        source[dim] = slice(ub, ub + h)
+                        local[tuple(face)] = global_field[tuple(source)]
+            locals_by_rank[rank] = local
+        return locals_by_rank
+
+    def gather(self, locals_by_rank: Dict[int, np.ndarray],
+               decomposition: CartesianDecomposition,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Assemble the owned interiors back into one global array."""
+        h = self.halo
+        if out is None:
+            sample = locals_by_rank[0]
+            out = np.zeros(decomposition.global_shape, dtype=sample.dtype,
+                           order="F")
+        for rank in range(self.num_ranks):
+            bounds = decomposition.local_bounds(rank)
+            interior = tuple(slice(h, h + (ub - lb)) for lb, ub in bounds)
+            owned = tuple(slice(lb, ub) for lb, ub in bounds)
+            out[owned] = locals_by_rank[rank][interior]
+        return out
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, global_field: np.ndarray,
+            make_interpreter: InterpreterFactory, entry: str,
+            iterations: int = 1) -> DistributedRunResult:
+        """One distributed run: scatter, execute, exchange halos, gather.
+
+        ``entry`` is called ``iterations`` times per rank on that rank's
+        local array; the compiled module performs its own halo exchanges
+        (the DMP lowering inserts them before every stencil snapshot).  The
+        input field is never mutated; the gathered result comes back on the
+        :class:`DistributedRunResult`.
+        """
+        if iterations < 1:
+            raise MPIError(f"iterations must be >= 1, got {iterations}")
+        started = time.perf_counter()
+        global_field = np.asfortranarray(global_field)
+        decomposition = self.decomposition_for(global_field.shape)
+        comm = SimulatedCommunicator(self.num_ranks, timeout=self.timeout)
+        locals_by_rank = self.scatter(global_field, decomposition)
+        stats_by_rank: Dict[int, RankStats] = {}
+
+        def run_rank(rank: int) -> None:
+            local = locals_by_rank[rank]
+            rank_started = time.perf_counter()
+            interp = make_interpreter(rank, local.shape, comm, decomposition)
+            for _ in range(iterations):
+                interp.call(entry, local)
+            total = time.perf_counter() - rank_started
+            kernel_seconds = 0.0
+            if interp.kernels is not None:
+                per_kernel = interp.kernels.stats.get("per_kernel", {})
+                kernel_seconds = sum(
+                    entry_stats["seconds"] for entry_stats in per_kernel.values()
+                )
+            stats_by_rank[rank] = RankStats(
+                rank=rank,
+                bounds=tuple(decomposition.local_bounds(rank)),
+                local_shape=tuple(local.shape),
+                messages=int(interp.stats["mpi_messages"]),
+                bytes=int(interp.stats["mpi_bytes"]),
+                halo_seconds=float(interp.stats["halo_seconds"]),
+                kernel_seconds=kernel_seconds,
+                total_seconds=total,
+            )
+
+        pool = get_rank_pool(self.pool_workers)
+        # One distributed run at a time per pool: every rank task of a run
+        # must be runnable at once, so runs may not interleave.
+        with _rank_pool_gate(self.pool_workers):
+            pool.run_tiles(run_rank, list(range(self.num_ranks)))
+        gathered = self.gather(locals_by_rank, decomposition)
+        seconds = time.perf_counter() - started
+        return DistributedRunResult(
+            field=gathered,
+            grid=self.grid,
+            ranks=self.num_ranks,
+            iterations=iterations,
+            rank_stats=[stats_by_rank[r] for r in range(self.num_ranks)],
+            messages=comm.message_count,
+            bytes=comm.bytes_sent,
+            seconds=seconds,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<DistributedExecutor grid={self.grid} ranks={self.num_ranks} "
+            f"pool={self.pool_workers}>"
+        )
+
+
+__all__ = [
+    "DistributedExecutor",
+    "DistributedRunResult",
+    "RankStats",
+    "InterpreterFactory",
+    "get_rank_pool",
+]

@@ -171,6 +171,7 @@ class Interpreter:
             "kernel_launches": 0,
             "mpi_messages": 0,
             "mpi_bytes": 0,
+            "halo_seconds": 0.0,
             "vectorized_sweeps": 0,
             "vectorize_fallbacks": 0,
             "parallel_sweeps": 0,
@@ -1151,6 +1152,7 @@ class Interpreter:
             return tuple(slices)
 
         # Post all sends first, then receive (buffered sends cannot deadlock).
+        start = _time.perf_counter()
         for (dim, direction), neighbour in neighbours.items():
             if neighbour < 0 or halo[dim] == 0:
                 continue
@@ -1168,6 +1170,7 @@ class Interpreter:
             data = self.comm.receive(neighbour, self.rank, tag)
             where = "low_ghost" if direction < 0 else "high_ghost"
             buffer.data[slab(dim, where)] = data
+        self.stats["halo_seconds"] += _time.perf_counter() - start
         return []
 
     def _buffer_slices(self, op: Operation, buffer: MemoryBuffer):
@@ -1189,7 +1192,9 @@ class Interpreter:
             return [{"type": "send"}]
         payload = buffer.data[self._buffer_slices(op, buffer)]
         if self.comm is not None:
+            start = _time.perf_counter()
             self.comm.send(self.rank, peer, tag, payload)
+            self.stats["halo_seconds"] += _time.perf_counter() - start
         self.stats["mpi_messages"] += 1
         self.stats["mpi_bytes"] += payload.nbytes
         return [{"type": "send"}]
@@ -1225,7 +1230,9 @@ class Interpreter:
             return
         if self.comm is None:
             return
+        start = _time.perf_counter()
         data = self.comm.receive(request["source"], self.rank, request["tag"])
+        self.stats["halo_seconds"] += _time.perf_counter() - start
         request["buffer"].data[request["slices"]] = data
 
     def _exec_mpi_wait(self, op: Operation, frame: Frame):

@@ -41,10 +41,16 @@ class PendingReceive:
 class SimulatedCommunicator:
     """An MPI_COMM_WORLD equivalent for in-process ranks."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, timeout: float = 30.0):
         if size < 1:
             raise MPIError("communicator size must be >= 1")
+        if timeout <= 0:
+            raise MPIError(f"timeout must be positive, got {timeout!r}")
         self.size = size
+        #: Default blocking-receive / barrier timeout in seconds.  Tests that
+        #: provoke deadlocks shrink this so a missing send surfaces its
+        #: diagnostic in milliseconds instead of stalling CI for 30 s.
+        self.timeout = timeout
         self._mailboxes: Dict[Tuple[int, int, int], List[np.ndarray]] = {}
         self._lock = threading.Condition()
         self.message_count = 0
@@ -67,18 +73,30 @@ class SimulatedCommunicator:
             self.bytes_sent += int(data.nbytes)
             self._lock.notify_all()
 
-    def receive(self, source: int, dest: int, tag: int, timeout: float = 30.0) -> np.ndarray:
+    def receive(self, source: int, dest: int, tag: int,
+                timeout: Optional[float] = None) -> np.ndarray:
         self._check_rank(source)
         self._check_rank(dest)
+        if timeout is None:
+            timeout = self.timeout
         key = (source, dest, tag)
         with self._lock:
             deadline_ok = self._lock.wait_for(
                 lambda: self._mailboxes.get(key), timeout=timeout
             )
             if not deadline_ok:
+                # A deadlocked multi-rank run is diagnosable only if the
+                # error says what *was* in flight: snapshot every non-empty
+                # mailbox so the missing/mis-tagged send stands out.
+                pending = {
+                    f"src={s} dest={d} tag={t}": len(queue)
+                    for (s, d, t), queue in sorted(self._mailboxes.items())
+                    if queue
+                }
                 raise MPIError(
-                    f"receive timed out: rank {dest} waiting for message from "
-                    f"rank {source} with tag {tag}"
+                    f"receive timed out after {timeout:g}s: rank {dest} "
+                    f"waiting for message from rank {source} with tag {tag}; "
+                    f"pending messages: {pending if pending else 'none'}"
                 )
             return self._mailboxes[key].pop(0)
 
@@ -103,9 +121,18 @@ class SimulatedCommunicator:
                 self._barrier_generation += 1
                 self._lock.notify_all()
             else:
-                self._lock.wait_for(
-                    lambda: self._barrier_generation != generation, timeout=30.0
+                arrived = self._lock.wait_for(
+                    lambda: self._barrier_generation != generation,
+                    timeout=self.timeout,
                 )
+                if not arrived:
+                    waiting = self._barrier_count
+                    raise MPIError(
+                        f"barrier timed out after {self.timeout:g}s: rank "
+                        f"{rank} waiting with {waiting} of {self.size} ranks "
+                        "arrived — a rank deadlocked or never reached the "
+                        "barrier"
+                    )
 
     def allreduce(self, rank: int, value: float, op: str = "sum",
                   contributions: Optional[Dict[int, float]] = None) -> float:
