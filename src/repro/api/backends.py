@@ -217,7 +217,9 @@ class GpuBackend(Backend):
 
     def interpreter_kwargs(self, options, overrides):
         if overrides.get("gpu") is None:
-            overrides["gpu"] = SimulatedGPU()
+            overrides["gpu"] = SimulatedGPU(
+                num_streams=getattr(options, "streams", 1)
+            )
         return overrides
 
 

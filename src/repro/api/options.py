@@ -29,8 +29,9 @@ GPU_DATA_STRATEGIES = ("optimised", "host_register")
 
 #: Option fields that select how compiled modules *execute*, not what is
 #: compiled.  Excluded from the artifact cache key so runtime derivations
-#: (``.vectorize()``, ``.with_threads()``) never force a recompile.
-RUNTIME_ONLY_FIELDS = frozenset({"execution_mode", "threads"})
+#: (``.vectorize()``, ``.with_threads()``, a different GPU stream count)
+#: never force a recompile.
+RUNTIME_ONLY_FIELDS = frozenset({"execution_mode", "threads", "streams"})
 
 
 class OptionError(ValueError):
@@ -146,11 +147,16 @@ class GpuOptions(BackendOptions):
 
     ``data_strategy`` selects the paper's bespoke host/device data-movement
     pass (``"optimised"``) or the naive ``gpu.host_register`` strategy;
-    ``tile_sizes`` are the parallel-loop tile sizes of Listing 4.
+    ``tile_sizes`` are the parallel-loop tile sizes of Listing 4.  Both are
+    compile-time cache-key material.  ``streams`` is **runtime-only**: how
+    many ordered device streams the simulated GPU exposes for the async
+    transfer/launch overlap model — changing it derives a new handle without
+    recompiling, exactly like ``execution_mode`` / ``threads``.
     """
 
     data_strategy: str = "optimised"
     tile_sizes: Tuple[int, ...] = (32, 32, 1)
+    streams: int = 2
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tile_sizes", tuple(self.tile_sizes))
@@ -164,6 +170,8 @@ class GpuOptions(BackendOptions):
             raise OptionError(
                 f"tile_sizes must be positive, got {self.tile_sizes}"
             )
+        if not isinstance(self.streams, int) or self.streams < 1:
+            raise OptionError(f"streams must be >= 1, got {self.streams!r}")
 
 
 @dataclass(frozen=True)

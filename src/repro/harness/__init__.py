@@ -13,6 +13,7 @@ from .experiments import (
     gpu_data_ablation,
     harness_session,
     measured_distributed_scaling,
+    measured_gpu_scaling,
     measured_openmp_scaling,
 )
 from .reporting import format_table, kernel_stats_table, run_all
@@ -25,6 +26,7 @@ __all__ = [
     "figure4_openmp_pw_advection",
     "measured_openmp_scaling",
     "figure5_gpu",
+    "measured_gpu_scaling",
     "figure6_distributed",
     "measured_distributed_scaling",
     "gpu_data_ablation",

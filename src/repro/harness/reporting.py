@@ -39,10 +39,15 @@ def format_table(result: "ExperimentResult") -> str:
 
 
 def kernel_stats_table(kernels) -> str:
-    """Render a :class:`repro.runtime.KernelCompiler`'s per-kernel runtime
-    statistics (``kernels.stats["per_kernel"]``: invocation counts and
-    cumulative wall time recorded by the interpreter around every vectorized
-    sweep) as an aligned text table, slowest kernels first."""
+    """Render per-kernel runtime statistics as an aligned text table,
+    slowest kernels first.
+
+    Accepts anything exposing ``stats["per_kernel"]`` mapping a kernel label
+    to invocation count and cumulative wall time — a
+    :class:`repro.runtime.KernelCompiler` (CPU/OpenMP sweeps and the
+    vectorized GPU launch engine, recorded by the interpreter around every
+    sweep) or a :class:`repro.runtime.SimulatedGPU` (per-launch wall time by
+    kernel name)."""
     from .experiments import ExperimentResult
 
     result = ExperimentResult(

@@ -6,7 +6,15 @@ from .distributed_executor import (
     RankStats,
     get_rank_pool,
 )
-from .gpu_runtime import GPUTransfer, KernelLaunch, SimulatedGPU
+from .gpu_kernel_engine import GpuKernelEngine, GpuLaunchKernel, compile_gpu_func
+from .gpu_runtime import (
+    DeviceMemoryPool,
+    GpuStream,
+    GPUTransfer,
+    KernelLaunch,
+    SimulatedGPU,
+    StreamEvent,
+)
 from .interpreter import FieldValue, Frame, Interpreter, InterpreterError, TempValue
 from .kernel_compiler import (
     EXECUTION_MODES,
@@ -44,6 +52,12 @@ __all__ = [
     "SimulatedGPU",
     "GPUTransfer",
     "KernelLaunch",
+    "GpuStream",
+    "StreamEvent",
+    "DeviceMemoryPool",
+    "GpuKernelEngine",
+    "GpuLaunchKernel",
+    "compile_gpu_func",
     "SimulatedCommunicator",
     "CartesianDecomposition",
     "MPIError",

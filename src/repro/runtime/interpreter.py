@@ -46,6 +46,7 @@ from ..ir.types import (
     MemRefType,
     TypeAttribute,
 )
+from .gpu_kernel_engine import GpuKernelEngine
 from .gpu_runtime import SimulatedGPU
 from .kernel_compiler import EXECUTION_MODES, KernelCompiler
 from .memory import ElementRef, MemoryBuffer, numpy_dtype_for
@@ -177,9 +178,24 @@ class Interpreter:
             "parallel_sweeps": 0,
             "parallel_tiles": 0,
             "parallel_fallbacks": 0,
+            "gpu_seconds": 0.0,
+            "transfer_seconds": 0.0,
+            "gpu_launches_vectorized": 0,
+            "gpu_launch_fallbacks": 0,
         }
+        #: Lazily built whole-lattice compiler for gpu.launch_func (shares the
+        #: kernel compiler's structural cache and counters).
+        self._gpu_engine: Optional[GpuKernelEngine] = None
         self._functions: Dict[str, FuncOp] = {}
         self._gpu_kernels: Dict[str, Operation] = {}
+        #: Functions whose bodies contain gpu.launch_func ops: the launch is
+        #: accounted at the launch site, so the function-level gpu.launch
+        #: annotation must not record a second one.
+        self._funcs_with_launch_ops: set = set()
+        #: Per-invocation device scratch (memref.alloc inside gpu.launch
+        #: functions): allocated from the device pool, released when the
+        #: function returns.
+        self._device_scratch_stack: List[List[MemoryBuffer]] = []
         self._apply_stack: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
         self._gpu_thread_ctx: List[Dict[str, Tuple[int, int, int]]] = []
         self._pending_requests: List[dict] = []
@@ -195,6 +211,8 @@ class Interpreter:
             for op in module.walk():
                 if isinstance(op, FuncOp) and not op.is_declaration:
                     self._functions[op.sym_name] = op
+                    if any(inner.name == "gpu.launch_func" for inner in op.walk()):
+                        self._funcs_with_launch_ops.add(op.sym_name)
                 elif op.name == "gpu.func":
                     name_attr = op.get_attr_or_none("sym_name")
                     if isinstance(name_attr, StringAttr):
@@ -244,18 +262,37 @@ class Interpreter:
         frame = Frame()
         for block_arg, value in zip(entry.args, args):
             frame.set(block_arg, value)
-        # GPU-launch-tagged functions account a kernel launch per invocation.
-        if func_op.get_attr_or_none("gpu.launch") is not None and self.gpu is not None:
+        # GPU-launch-tagged functions account a kernel launch per invocation —
+        # unless the lowered body carries its own gpu.launch_func sites, which
+        # do the accounting themselves.
+        launch = None
+        is_gpu_func = func_op.get_attr_or_none("gpu.launch") is not None
+        if is_gpu_func and self.gpu is not None \
+                and func_op.sym_name not in self._funcs_with_launch_ops:
             grid = self._dense_attr_or(func_op, "gpu.grid", (1, 1, 1))
             block = self._dense_attr_or(func_op, "gpu.block", (1, 1, 1))
             buffers = [a.buffer if isinstance(a, FieldValue) else a for a in args]
             buffers = [b for b in buffers if isinstance(b, MemoryBuffer) and not b.is_scalar]
-            self.gpu.record_launch(func_op.sym_name, grid, block, buffers)
+            stream_attr = func_op.get_attr_or_none("gpu.stream")
+            stream = int(stream_attr.value) if stream_attr is not None else 0
+            launch = self.gpu.record_launch(func_op.sym_name, grid, block,
+                                            buffers, stream=stream)
             self.stats["kernel_launches"] += 1
+        if is_gpu_func:
+            self._device_scratch_stack.append([])
+        start = _time.perf_counter()
         try:
             self.run_block(entry, frame)
         except _ReturnSignal as signal:
             return signal.values
+        finally:
+            if is_gpu_func:
+                for scratch in self._device_scratch_stack.pop():
+                    self._require_gpu().dealloc(scratch)
+            if launch is not None:
+                seconds = _time.perf_counter() - start
+                self.gpu.finish_launch(launch, seconds)
+                self.stats["gpu_seconds"] += seconds
         return []
 
     @staticmethod
@@ -605,6 +642,18 @@ class Interpreter:
         dynamic = [int(_as_python(frame.get(o))) for o in op.operands]
         it = iter(dynamic)
         shape = [next(it) if s < 0 else s for s in shape]
+        # Scratch allocated inside a GPU-launch-tagged function lives on the
+        # device (it is kernel-local staging, e.g. the stencil snapshot of a
+        # lowered sweep) — tagging it host would fabricate on-demand PCIe
+        # traffic when it is passed to a gpu.launch_func.  It comes out of
+        # the accounted device pool and is released when the function
+        # returns (the lowering emits no dealloc for it).
+        if self._enclosing_func_attr(op, "gpu.launch") is not None:
+            buffer = self._require_gpu().alloc(shape, mtype.element_type,
+                                               label="gpu_scratch")
+            if self._device_scratch_stack:
+                self._device_scratch_stack[-1].append(buffer)
+            return [buffer]
         return [MemoryBuffer.for_array(shape, mtype.element_type)]
 
     def _exec_memref_load(self, op: Operation, frame: Frame):
@@ -1022,8 +1071,21 @@ class Interpreter:
         return [gpu.alloc(shape, mtype.element_type)]
 
     def _exec_gpu_dealloc(self, op: Operation, frame: Frame):
-        self._require_gpu().dealloc(frame.get(op.operands[0]))
+        buffer = frame.get(op.operands[0])
+        if isinstance(buffer, FieldValue):
+            buffer = buffer.buffer
+        self._require_gpu().dealloc(buffer)
         return []
+
+    @staticmethod
+    def _enclosing_func_attr(op: Operation, attr_name: str):
+        """The named attribute on the op's enclosing function, if any."""
+        parent = op.parent_op()
+        while parent is not None:
+            if isinstance(parent, FuncOp):
+                return parent.get_attr_or_none(attr_name)
+            parent = parent.parent_op()
+        return None
 
     def _exec_gpu_memcpy(self, op: Operation, frame: Frame):
         dst = frame.get(op.operands[0])
@@ -1032,7 +1094,14 @@ class Interpreter:
             dst = dst.buffer
         if isinstance(src, FieldValue):
             src = src.buffer
-        self._require_gpu().memcpy(dst, src)
+        gpu = self._require_gpu()
+        # Copies inside a prefetch-tagged data-management function go to the
+        # device's copy stream so the model can overlap them with compute.
+        stream = SimulatedGPU.COPY_STREAM \
+            if self._enclosing_func_attr(op, "gpu.prefetch") is not None else 0
+        start = _time.perf_counter()
+        gpu.memcpy(dst, src, stream=stream)
+        self.stats["transfer_seconds"] += _time.perf_counter() - start
         return []
 
     def _exec_gpu_host_register(self, op: Operation, frame: Frame):
@@ -1050,12 +1119,32 @@ class Interpreter:
         block = op.get_attr("block_size").as_tuple()  # type: ignore[union-attr]
         args = [frame.get(o) for o in op.operands]
         buffers = [a for a in args if isinstance(a, MemoryBuffer) and not a.is_scalar]
-        gpu.record_launch(kernel_name, grid, block, buffers)
+        stream_attr = op.get_attr_or_none("gpu.stream") or \
+            self._enclosing_func_attr(op, "gpu.stream")
+        stream = int(stream_attr.value) if stream_attr is not None else 0
+        launch = gpu.record_launch(kernel_name, grid, block, buffers,
+                                   stream=stream)
         self.stats["kernel_launches"] += 1
-        kernel = self._gpu_kernels.get(kernel_name)
-        if kernel is None:
+        kernel_op = self._gpu_kernels.get(kernel_name)
+        if kernel_op is None:
             raise InterpreterError(f"gpu.launch_func: unknown kernel '{kernel_name}'")
-        body = kernel.regions[0].block
+        start = _time.perf_counter()
+        try:
+            if self.execution_mode != "interpret" and \
+                    self._vectorize_launch(op, kernel_op, args, grid, block):
+                return []
+            self._run_launch_scalar(kernel_op, args, grid, block)
+            return []
+        finally:
+            seconds = _time.perf_counter() - start
+            gpu.finish_launch(launch, seconds)
+            self.stats["gpu_seconds"] += seconds
+
+    def _run_launch_scalar(self, kernel_op: Operation, args: List[object],
+                           grid: Sequence[int], block: Sequence[int]) -> None:
+        """The per-thread scalar oracle: run the gpu.func body once for every
+        thread of the (grid × block) lattice."""
+        body = kernel_op.regions[0].block
         for bz in range(grid[2]):
             for by in range(grid[1]):
                 for bx in range(grid[0]):
@@ -1076,7 +1165,63 @@ class Interpreter:
                                     self.run_block(body, kernel_frame)
                                 finally:
                                     self._gpu_thread_ctx.pop()
-        return []
+
+    def _vectorize_launch(self, op: Operation, kernel_op: Operation,
+                          args: List[object], grid: Sequence[int],
+                          block: Sequence[int]) -> bool:
+        """Run a gpu.launch_func through its compiled whole-lattice kernel.
+        Returns False (caller runs the per-thread oracle) when the gpu.func
+        cannot be compiled or a runtime bounds/alias guard fails."""
+        if self._gpu_engine is None:
+            self._gpu_engine = GpuKernelEngine(self.kernels)
+        bound = self._gpu_engine.kernel_for(op, kernel_op)
+        if bound is None:
+            self.stats["gpu_launch_fallbacks"] += 1
+            return False
+        kernel = bound.kernel
+        externals = args
+        lowers, uppers = kernel.launch_domain(grid, block)
+        if not kernel.guards_pass(externals, lowers, uppers, [1] * kernel.rank):
+            self.stats["gpu_launch_fallbacks"] += 1
+            return False
+        if any(u <= l for l, u in zip(lowers, uppers)):
+            self.stats["gpu_launches_vectorized"] += 1
+            return True  # the guard rejects every thread: nothing to execute
+        start = _time.perf_counter()
+        try:
+            if self.execution_mode == "crosscheck":
+                self._crosscheck_launch(kernel, externals, lowers, uppers,
+                                        kernel_op, args, grid, block)
+            else:
+                kernel.fn(externals, lowers, uppers)
+        finally:
+            if self.kernels is not None and kernel.label:
+                self.kernels.record_invocation(kernel.label,
+                                               _time.perf_counter() - start)
+        self.stats["gpu_launches_vectorized"] += 1
+        return True
+
+    def _crosscheck_launch(self, kernel, externals, lowers, uppers,
+                           kernel_op: Operation, args: List[object],
+                           grid: Sequence[int], block: Sequence[int]) -> None:
+        """Run the compiled lattice kernel AND the per-thread scalar oracle;
+        require bitwise agreement.  Leaves the oracle's results in memory."""
+        targets = kernel.store_targets(externals)
+        before = [t.copy() for t in targets]
+        kernel.fn(externals, lowers, uppers)
+        vectorized = [t.copy() for t in targets]
+        for target, saved in zip(targets, before):
+            np.copyto(target, saved)
+        self._run_launch_scalar(kernel_op, args, grid, block)
+        for target, vec in zip(targets, vectorized):
+            if not np.array_equal(np.asarray(target), vec, equal_nan=True):
+                worst = float(np.max(np.abs(np.asarray(target, dtype=np.float64)
+                                            - np.asarray(vec, dtype=np.float64))))
+                raise InterpreterError(
+                    "vectorized GPU launch diverged from the per-thread "
+                    f"scalar oracle (max |diff| = {worst:g});\n"
+                    f"--- kernel source ---\n{kernel.source}"
+                )
 
     def _exec_gpu_id(self, what: str):
         dims = {"x": 0, "y": 1, "z": 2}

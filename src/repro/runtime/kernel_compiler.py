@@ -91,8 +91,10 @@ class KernelUnsupported(Exception):
 #: stencil.vectorizable after analysis) does not invalidate its cache entry.
 #: The omp schedule clause is an execution *policy* — two wsloops differing
 #: only in schedule compute the same function and share one kernel; the
-#: interpreter reads the policy off the op at dispatch time.
-_METADATA_ATTRS = frozenset({"stencil.vectorizable", "omp.schedule", "omp.chunk_size"})
+#: interpreter reads the policy off the op at dispatch time.  The gpu stream
+#: assignment and prefetch tags are likewise runtime placement policy.
+_METADATA_ATTRS = frozenset({"stencil.vectorizable", "omp.schedule",
+                             "omp.chunk_size", "gpu.stream", "gpu.prefetch"})
 
 
 def structural_hash(op: Operation) -> str:
@@ -492,6 +494,35 @@ class _BodyTranslator:
             raise KernelUnsupported("induction variable reused across axes")
         return tuple(axes)
 
+    def emit_load(self, result: SSAValue, slot: int,
+                  axes: Sequence[Tuple[int, int]]) -> None:
+        """Record an affine load and bind its whole-sweep slice expression."""
+        self.loads.append((slot, tuple(axes)))
+        var = self.fresh()
+        self.lines.append(f"{var} = " + self.slice_code(f"ext[{slot}].data", axes))
+        self.values[id(result)] = _Expr(var, is_array=True)
+
+    def emit_store(self, value: SSAValue, slot: int,
+                   axes: Sequence[Tuple[int, int]]) -> None:
+        """Record an affine store and emit its sliced assignment.
+
+        The assignment target must stay a plain slice (a transposed view is
+        not assignable syntax); when the store permutes the induction
+        variables, transpose the *value* from iv-order into the target's
+        axis order instead.
+        """
+        self.stores.append((slot, tuple(axes)))
+        value_code, value_is_array = self.as_code(value)
+        slices = ", ".join(
+            f"lb[{dim}] + {offset}:ub[{dim}] + {offset}" if offset else
+            f"lb[{dim}]:ub[{dim}]"
+            for dim, offset in axes
+        )
+        order = [dim for dim, _ in axes]
+        if order != sorted(order) and value_is_array:
+            value_code = f"np.transpose({value_code}, {tuple(order)})"
+        self.lines.append(f"ext[{slot}].data[{slices}] = {value_code}")
+
     def slice_code(self, base: str, axes: Sequence[Tuple[int, int]]) -> str:
         """A whole-sweep slice of ``base``, transposed/expanded so its axes
         line up with induction-variable order for broadcasting."""
@@ -684,33 +715,14 @@ def compile_loop_nest(op: Operation) -> CompiledKernel:
         if name == "memref.load":
             axes = translator.affine_indices(body_op.operands[1:])
             slot = translator.external_slot(body_op.operands[0], ("body", op_index, 0))
-            translator.loads.append((slot, axes))
-            var = translator.fresh()
-            translator.lines.append(
-                f"{var} = " + translator.slice_code(f"ext[{slot}].data", axes)
-            )
-            translator.values[id(body_op.results[0])] = _Expr(var, is_array=True)
+            translator.emit_load(body_op.results[0], slot, axes)
             continue
         if name == "memref.store":
             axes = translator.affine_indices(body_op.operands[2:])
             if len(axes) != rank:
                 raise KernelUnsupported("store does not cover every loop dimension")
             slot = translator.external_slot(body_op.operands[1], ("body", op_index, 1))
-            translator.stores.append((slot, axes))
-            value_code, value_is_array = translator.as_code(body_op.operands[0])
-            # The assignment target must stay a plain slice (a transposed
-            # view is not assignable syntax); when the store permutes the
-            # induction variables, transpose the *value* from iv-order into
-            # the target's axis order instead.
-            slices = ", ".join(
-                f"lb[{dim}] + {offset}:ub[{dim}] + {offset}" if offset else
-                f"lb[{dim}]:ub[{dim}]"
-                for dim, offset in axes
-            )
-            order = [dim for dim, _ in axes]
-            if order != sorted(order) and value_is_array:
-                value_code = f"np.transpose({value_code}, {tuple(order)})"
-            translator.lines.append(f"ext[{slot}].data[{slices}] = {value_code}")
+            translator.emit_store(body_op.operands[0], slot, axes)
             continue
         translator.translate_op(body_op)
 
@@ -861,6 +873,29 @@ class KernelCompiler:
         entry["invocations"] += 1
         entry["seconds"] += seconds
 
+    def compile_cached(self, key: str,
+                       builder: Callable[[], CompiledKernel]) -> Optional[CompiledKernel]:
+        """Structural-cache lookup with counted compile-on-miss.
+
+        Shared by :meth:`kernel_for` and the GPU launch engine
+        (:mod:`repro.runtime.gpu_kernel_engine`), so gpu.func kernels live in
+        the same structural cache — and the same stats counters — as loop-nest
+        and apply kernels.  Any compile failure — including codegen bugs
+        surfacing as SyntaxError from exec — must degrade to scalar
+        interpretation, never crash the run.
+        """
+        if key in self._structural:
+            self.stats["cache_hits"] += 1
+            return self._structural[key]
+        try:
+            kernel: Optional[CompiledKernel] = builder()
+            self.stats["compiled"] += 1
+        except Exception:
+            kernel = None
+            self.stats["unsupported"] += 1
+        self._structural[key] = kernel
+        return kernel
+
     def kernel_for(self, op: Operation) -> Optional[BoundKernel]:
         """The compiled kernel bound to ``op``, or None when the op is not
         vectorizable."""
@@ -869,23 +904,11 @@ class KernelCompiler:
             self.stats["cache_hits"] += 1
             return entry[1]
         key = structural_hash(op)
-        if key in self._structural:
-            kernel = self._structural[key]
-            self.stats["cache_hits"] += 1
-        else:
-            # Any compile failure — including codegen bugs surfacing as
-            # SyntaxError from exec — must degrade to scalar interpretation,
-            # never crash the run.
-            try:
-                if op.name == "stencil.apply":
-                    kernel = compile_apply(op)
-                else:
-                    kernel = compile_loop_nest(op)
-                self.stats["compiled"] += 1
-            except Exception:
-                kernel = None
-                self.stats["unsupported"] += 1
-            self._structural[key] = kernel
+        kernel = self.compile_cached(
+            key,
+            lambda: compile_apply(op) if op.name == "stencil.apply"
+            else compile_loop_nest(op),
+        )
         if kernel is not None and not kernel.label:
             kernel.label = f"{op.name}@{key[:10]}"
         bound = None

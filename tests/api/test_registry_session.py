@@ -473,3 +473,59 @@ class TestDmpCacheKeys:
             source_builder=gauss_seidel.generate_source_shaped
         ).run(field)
         assert session.cache_stats["misses"] == misses_two_grids
+
+
+class TestGpuCacheKeys:
+    """GPU data strategy and tile sizes are compile-time identity; streams,
+    execution mode and threads are runtime-only (mirrors TestDmpCacheKeys)."""
+
+    def test_data_strategy_change_recompiles(self, session, small_gs_source):
+        program = session.compile(small_gs_source)
+        optimised = program.lower("gpu", data_strategy="optimised")
+        host_register = program.lower("gpu", data_strategy="host_register")
+        assert session.cache_stats == {"hits": 0, "misses": 2, "artifacts": 2}
+        assert optimised.artifact is not host_register.artifact
+        # Re-lowering either strategy is a pure cache hit.
+        again = program.lower("gpu", data_strategy="host_register")
+        assert session.cache_stats == {"hits": 1, "misses": 2, "artifacts": 2}
+        assert again.artifact is host_register.artifact
+
+    def test_runtime_knobs_do_not_recompile(self, session, small_gs_source):
+        """streams / execution_mode / threads derive handles from the one
+        compiled artifact — measured as cache hits, zero new misses."""
+        program = session.compile(small_gs_source)
+        base = program.lower("gpu", data_strategy="optimised")
+        baseline = session.cache_stats["misses"]  # 1: the base compile
+        derived = [
+            program.lower("gpu", data_strategy="optimised", streams=4),
+            program.lower("gpu", data_strategy="optimised",
+                          execution_mode="vectorize"),
+            program.lower("gpu", data_strategy="optimised", threads=2),
+            base.vectorize(threads=2),
+            base.with_options(streams=8),
+        ]
+        assert session.cache_stats["misses"] == baseline
+        assert session.cache_stats["hits"] == len(derived)
+        assert all(h.artifact is base.artifact for h in derived)
+
+    def test_tile_sizes_are_compile_time_cache_key_material(
+            self, session, small_gs_source):
+        program = session.compile(small_gs_source)
+        program.lower("gpu", tile_sizes=(32, 32, 1))
+        program.lower("gpu", tile_sizes=(4, 4, 4))
+        assert session.cache_stats == {"hits": 0, "misses": 2, "artifacts": 2}
+
+    def test_streams_excluded_from_cache_key_and_validated(self):
+        key_fields = {name for name, _ in GpuOptions().cache_key()}
+        assert "data_strategy" in key_fields and "tile_sizes" in key_fields
+        assert "streams" not in key_fields
+        assert "execution_mode" not in key_fields
+        with pytest.raises(OptionError):
+            GpuOptions(streams=0)
+
+    def test_streams_reach_the_simulated_device(self, small_gs_source):
+        compiled = repro.Session().compile(small_gs_source).lower(
+            "gpu", streams=3
+        )
+        interp = compiled.interpreter()
+        assert interp.gpu.num_streams == 3

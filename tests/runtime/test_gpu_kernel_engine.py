@@ -1,0 +1,276 @@
+"""Tests for the vectorized GPU launch engine.
+
+Covers the contract areas of :mod:`repro.runtime.gpu_kernel_engine`:
+
+* **whole-lattice compilation** — outlined ``gpu.func`` kernels compile to
+  one NumPy sweep whose iteration domain is the ``grid × block`` lattice
+  clipped by the per-thread bounds guards;
+* **oracle equivalence** — vectorized launches agree *bitwise* with the
+  per-thread scalar interpreter on the lowered benchmark, and crosscheck
+  mode replays every launch through that oracle;
+* **guards and fallbacks** — aliased launch arguments and unsupported bodies
+  (barriers) fall back to the scalar path, counted in the interpreter stats;
+* **caching** — structurally identical kernels compile once, across sweeps
+  and across interpreters sharing one :class:`KernelCompiler`.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps import gauss_seidel, pw_advection
+from repro.dialects import arith, gpu, memref, scf
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.ir import Builder, MemRefType, default_context, f64, index
+from repro.runtime import (
+    Interpreter,
+    InterpreterError,
+    KernelCompiler,
+    SimulatedGPU,
+    compile_gpu_func,
+)
+from repro.runtime.gpu_kernel_engine import GpuLaunchKernel, KernelUnsupported
+from repro.transforms import ConvertParallelLoopsToGpuPass, ParallelLoopTilingPass
+
+
+# ---------------------------------------------------------------------------
+# IR builder: an outlined 2-d shift kernel (dst[i,j] = 2 * src[i-1,j])
+# ---------------------------------------------------------------------------
+
+
+def build_launch_module(n=8, in_place=False, with_barrier=False,
+                        tile=(4, 4)):
+    """A module whose func 'shift' launches an outlined gpu.func computing
+    ``dst[i, j] = src[i-1, j] * 2`` over ``[1, n-1)²``."""
+    mtype = MemRefType((n, n), f64)
+    fn = FuncOp.build("shift", [mtype, mtype], [])
+    b = Builder.at_end(fn.entry_block)
+    dst, src = fn.entry_block.args
+    if in_place:
+        src = dst
+    low = b.insert(arith.ConstantOp.from_int(1, index)).results[0]
+    high = b.insert(arith.ConstantOp.from_int(n - 1, index)).results[0]
+    one = b.insert(arith.ConstantOp.from_int(1, index)).results[0]
+    parallel = b.insert(scf.ParallelOp([low, low], [high, high], [one, one]))
+    body = Builder.at_end(parallel.body.block)
+    i, j = parallel.body.block.args
+    amount = body.insert(arith.ConstantOp.from_int(1, index)).results[0]
+    shifted = body.insert(arith.SubiOp(i, amount)).results[0]
+    load = body.insert(memref.LoadOp(src, [shifted, j])).results[0]
+    two = body.insert(arith.ConstantOp.from_float(2.0)).results[0]
+    value = body.insert(arith.MulfOp(load, two)).results[0]
+    body.insert(memref.StoreOp(value, dst, [i, j]))
+    parallel.body.block.add_op(scf.YieldOp([]))
+    b.insert(ReturnOp([]))
+
+    module = ModuleOp([fn])
+    ctx = default_context()
+    ParallelLoopTilingPass(tile).apply(ctx, module)
+    ConvertParallelLoopsToGpuPass().apply(ctx, module)
+    module.verify()
+    if with_barrier:
+        kernel = next(op for op in module.walk() if op.name == "gpu.func")
+        guarded = next(op for op in kernel.walk() if op.name == "scf.if")
+        store = next(op for op in guarded.regions[0].block.ops
+                     if op.name == "memref.store")
+        guarded.regions[0].block.insert_op_before(gpu.GPUBarrierOp(), store)
+    return module
+
+
+def run_shift(module, mode, n=8, threads=1, kernel_compiler=None):
+    rng = np.random.default_rng(7)
+    src = np.asfortranarray(rng.random((n, n)))
+    dst = np.zeros((n, n), order="F")
+    interp = Interpreter(module, gpu=SimulatedGPU(), execution_mode=mode,
+                         kernel_compiler=kernel_compiler, threads=threads)
+    interp.call("shift", dst, src)
+    return dst, src, interp
+
+
+# ---------------------------------------------------------------------------
+# Compilation unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestCompileGpuFunc:
+    def test_compiles_to_clipped_lattice_sweep(self):
+        module = build_launch_module(n=8, tile=(4, 4))
+        func_op = next(op for op in module.walk() if op.name == "gpu.func")
+        kernel = compile_gpu_func(func_op)
+        assert isinstance(kernel, GpuLaunchKernel)
+        assert kernel.rank == 2
+        # iv = lattice + 1, guard iv < 7  =>  lattice upper limit 6.
+        assert kernel.upper_limits == (6, 6)
+        # Lattice [0, grid*block) = [0, 8) clips to the guard bound 6.
+        lowers, uppers = kernel.launch_domain((2, 2, 1), (4, 4, 1))
+        assert lowers == [0, 0] and uppers == [6, 6]
+        # The load is shifted by -1 relative to the store in lattice coords:
+        # store at iv = lattice+1, load at iv-1 = lattice+0.
+        assert kernel.stores[0][1] == ((0, 1), (1, 1))
+        assert kernel.loads[0][1] == ((0, 0), (1, 1))
+
+    def test_barrier_body_is_unsupported(self):
+        module = build_launch_module(with_barrier=True)
+        func_op = next(op for op in module.walk() if op.name == "gpu.func")
+        with pytest.raises(KernelUnsupported):
+            compile_gpu_func(func_op)
+
+    def test_non_gpu_func_rejected(self):
+        module = build_launch_module()
+        fn = next(op for op in module.walk() if isinstance(op, FuncOp))
+        with pytest.raises(KernelUnsupported):
+            compile_gpu_func(fn)
+
+
+# ---------------------------------------------------------------------------
+# Oracle equivalence on the synthetic kernel
+# ---------------------------------------------------------------------------
+
+
+class TestLaunchExecution:
+    def test_vectorized_matches_scalar_bitwise(self):
+        module = build_launch_module()
+        scalar_dst, _, _ = run_shift(module, "interpret")
+        vector_dst, src, interp = run_shift(module, "vectorize")
+        assert np.array_equal(scalar_dst, vector_dst)
+        assert np.array_equal(vector_dst[1:7, 1:7], 2 * src[0:6, 1:7])
+        assert interp.stats["gpu_launches_vectorized"] == 1
+        assert interp.stats["gpu_launch_fallbacks"] == 0
+        assert interp.stats["kernel_launches"] == 1
+
+    def test_crosscheck_replays_through_oracle(self):
+        module = build_launch_module()
+        dst, src, interp = run_shift(module, "crosscheck")
+        assert np.array_equal(dst[1:7, 1:7], 2 * src[0:6, 1:7])
+        assert interp.stats["gpu_launches_vectorized"] == 1
+
+    def test_crosscheck_raises_on_divergence(self):
+        module = build_launch_module()
+        compiler = KernelCompiler(use_shared_cache=False)
+        # Prime the cache, then corrupt the compiled kernel's function.
+        _, _, interp = run_shift(module, "vectorize", kernel_compiler=compiler)
+        kernel = next(k for k in compiler._structural.values() if k is not None)
+
+        def wrong(ext, lb, ub):
+            ext[1].data[lb[0]:ub[0], lb[1]:ub[1]] += 1.0
+
+        kernel.fn = wrong
+        with pytest.raises(InterpreterError, match="diverged"):
+            run_shift(module, "crosscheck", kernel_compiler=compiler)
+
+    def test_aliased_arguments_fall_back_to_scalar(self):
+        """dst aliasing src makes the sweep order-dependent: the runtime
+        alias guard must reject vectorization, and the scalar fallback must
+        reproduce the per-thread semantics exactly."""
+        module = build_launch_module(in_place=True)
+        rng = np.random.default_rng(3)
+        init = np.asfortranarray(rng.random((8, 8)))
+
+        results = {}
+        for mode in ("interpret", "vectorize"):
+            data = init.copy(order="F")
+            unused = np.zeros((8, 8), order="F")
+            interp = Interpreter(module, gpu=SimulatedGPU(),
+                                 execution_mode=mode)
+            interp.call("shift", data, unused)
+            results[mode] = data
+        assert np.array_equal(results["interpret"], results["vectorize"])
+        assert interp.stats["gpu_launch_fallbacks"] == 1
+        assert interp.stats["gpu_launches_vectorized"] == 0
+
+    def test_unsupported_body_falls_back_to_scalar(self):
+        module = build_launch_module(with_barrier=True)
+        dst, src, interp = run_shift(module, "vectorize")
+        assert np.array_equal(dst[1:7, 1:7], 2 * src[0:6, 1:7])
+        assert interp.stats["gpu_launch_fallbacks"] == 1
+
+    def test_kernel_compiles_once_across_sweeps_and_interpreters(self):
+        module = build_launch_module()
+        compiler = KernelCompiler(use_shared_cache=False)
+        _, _, interp = run_shift(module, "vectorize", kernel_compiler=compiler)
+        assert compiler.stats["compiled"] == 1
+        run_shift(module, "vectorize", kernel_compiler=compiler)
+        # Second interpreter, same compiler: structural hit, no new compile.
+        assert compiler.stats["compiled"] == 1
+        assert compiler.stats["cache_hits"] >= 1
+
+    def test_per_kernel_stats_recorded(self):
+        module = build_launch_module()
+        compiler = KernelCompiler(use_shared_cache=False)
+        _, _, interp = run_shift(module, "vectorize", kernel_compiler=compiler)
+        per_kernel = compiler.stats["per_kernel"]
+        assert len(per_kernel) == 1
+        (label, entry), = per_kernel.items()
+        assert label.startswith("gpu.func:shift_kernel_0")
+        assert entry["invocations"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Lowered benchmarks through the fluent API
+# ---------------------------------------------------------------------------
+
+
+class TestLoweredBenchmarks:
+    @pytest.mark.parametrize("strategy", ["optimised", "host_register"])
+    def test_gauss_seidel_vectorized_matches_oracle_bitwise(self, strategy):
+        n = 10
+        compiled = repro.compile(
+            gauss_seidel.generate_source(n, niters=2)
+        ).lower("gpu", data_strategy=strategy, lower_to_scf=True)
+        init = gauss_seidel.initial_condition(n)
+
+        results = {}
+        for mode in ("interpret", "vectorize", "crosscheck"):
+            work = init.copy(order="F")
+            interp = compiled.interpreter(gpu=SimulatedGPU(),
+                                          execution_mode=mode)
+            interp.call("gauss_seidel", work)
+            results[mode] = (work, interp)
+
+        reference = gauss_seidel.reference_jacobi(init, 2)
+        scalar, _ = results["interpret"]
+        assert np.allclose(scalar, reference)
+        for mode in ("vectorize", "crosscheck"):
+            work, interp = results[mode]
+            assert np.array_equal(work, scalar), mode
+            assert interp.stats["gpu_launches_vectorized"] == 2
+            assert interp.stats["gpu_launch_fallbacks"] == 0
+            assert interp.stats["gpu_seconds"] > 0
+
+    def test_pw_advection_vectorized_matches_reference(self):
+        n = 12
+        compiled = repro.compile(
+            pw_advection.generate_source(n)
+        ).lower("gpu", data_strategy="optimised", lower_to_scf=True,
+                execution_mode="vectorize")
+        fields = [f.copy(order="F") for f in pw_advection.initial_fields(n)]
+        interp = compiled.run("pw_advection", *fields)
+        rsu, rsv, rsw = pw_advection.reference(fields[0], fields[1], fields[2])
+        assert np.allclose(fields[3], rsu)
+        assert np.allclose(fields[4], rsv)
+        assert np.allclose(fields[5], rsw)
+        assert interp.stats["gpu_launches_vectorized"] >= 1
+        assert interp.stats["gpu_launch_fallbacks"] == 0
+
+    def test_launch_accounting_not_doubled_in_lowered_mode(self):
+        """The extracted function carries gpu.launch *and* its body contains
+        a gpu.launch_func: only the launch site may account."""
+        n = 10
+        compiled = repro.compile(
+            gauss_seidel.generate_source(n, niters=2)
+        ).lower("gpu", data_strategy="optimised", lower_to_scf=True)
+        device = SimulatedGPU()
+        interp = compiled.interpreter(gpu=device, execution_mode="vectorize")
+        interp.call("gauss_seidel", gauss_seidel.initial_condition(n))
+        assert len(device.launches) == 2  # niters, not 2 * niters
+        assert interp.stats["kernel_launches"] == 2
+        # The optimised strategy stages data explicitly: the device-resident
+        # launch must not fabricate on-demand PCIe traffic.
+        assert device.transferred_bytes(reason="on_demand") == 0
+
+    def test_empty_domain_launch_executes_nothing(self):
+        """A launch whose guards reject every lattice point is a no-op."""
+        module = build_launch_module(n=2)  # domain [1, 1): empty
+        dst, _, interp = run_shift(module, "vectorize", n=2)
+        assert np.all(dst == 0)

@@ -174,6 +174,88 @@ class TestSimulatedGPU:
         gpu.record_launch("k", (1, 1, 1), (32, 1, 1), [device])
         assert gpu.transferred_bytes(reason="on_demand") == 0
 
+    def test_dealloc_returns_bytes_to_the_pool(self):
+        """Regression: alloc -> dealloc -> alloc of the full device memory
+        must succeed, because dealloc returns the bytes to the pool."""
+        gpu = SimulatedGPU(memory_bytes=1024)
+        full = gpu.alloc((128,), f64)  # 1024 bytes: the whole device
+        assert gpu.allocated_bytes == 1024
+        assert gpu.dealloc(full) == 1024
+        assert gpu.allocated_bytes == 0
+        again = gpu.alloc((128,), f64)  # must not raise
+        assert gpu.allocated_bytes == 1024
+        assert gpu.pool.peak_bytes == 1024
+        assert gpu.dealloc(again) == 1024
+        # Releasing a buffer the pool does not own reclaims nothing.
+        assert gpu.dealloc(again) == 0
+        assert gpu.allocated_bytes == 0
+
+    def test_oom_message_names_buffer_and_breakdown(self):
+        gpu = SimulatedGPU(memory_bytes=1024)
+        gpu.alloc((64,), f64, label="u_dev")
+        with pytest.raises(MemoryError) as excinfo:
+            gpu.alloc((100,), f64, label="v_dev")
+        message = str(excinfo.value)
+        assert "'v_dev'" in message           # the requested buffer by name
+        assert "800 bytes" in message         # and its size
+        assert "u_dev=512" in message         # per-allocation breakdown
+
+    def test_stream_timeline_overlaps_copy_with_compute(self):
+        gpu = SimulatedGPU(num_streams=2)
+        device = gpu.alloc((1024, 1024), f64)
+        host = MemoryBuffer.for_array((1024, 1024), f64, space="host")
+        gpu.record_launch("k", (32, 32, 1), (32, 32, 1), [device])
+        # An h2d prefetch on the copy stream starts while the launch runs.
+        gpu.memcpy(device, host, stream=SimulatedGPU.COPY_STREAM)
+        assert len(gpu.streams) == 2
+        assert gpu.modelled_overlap_seconds() > 0
+        assert gpu.synchronize() < gpu.modelled_serial_seconds()
+
+    def test_single_stream_serialises_everything(self):
+        gpu = SimulatedGPU(num_streams=1)
+        device = gpu.alloc((1024, 1024), f64)
+        host = MemoryBuffer.for_array((1024, 1024), f64, space="host")
+        gpu.record_launch("k", (32, 32, 1), (32, 32, 1), [device])
+        # Stream assignments fold onto the single physical stream.
+        gpu.memcpy(device, host, stream=SimulatedGPU.COPY_STREAM)
+        assert len(gpu.streams) == 1
+        assert gpu.modelled_overlap_seconds() == pytest.approx(0.0)
+
+    def test_launch_waits_for_staged_data(self):
+        """A launch must not start before the last h2d transfer has landed,
+        even from another stream."""
+        gpu = SimulatedGPU(num_streams=2)
+        device = gpu.alloc((1024, 1024), f64)
+        host = MemoryBuffer.for_array((1024, 1024), f64, space="host")
+        gpu.memcpy(device, host, stream=SimulatedGPU.COPY_STREAM)
+        transfer_done = gpu.stream(SimulatedGPU.COPY_STREAM).ready_at
+        gpu.record_launch("k", (1, 1, 1), (32, 1, 1), [device])
+        launch_event = gpu.stream(0).events[-1]
+        assert launch_event.start >= transfer_done
+
+    def test_summary_reports_per_kernel_invocations_and_wall_time(self):
+        gpu = SimulatedGPU()
+        device = gpu.alloc((32,), f64)
+        first = gpu.record_launch("k1", (1, 1, 1), (32, 1, 1), [device])
+        gpu.record_launch("k1", (1, 1, 1), (32, 1, 1), [device])
+        gpu.record_launch("k2", (1, 1, 1), (32, 1, 1), [device])
+        gpu.finish_launch(first, 0.25)
+        summary = gpu.summary()
+        assert summary["launches"] == 3
+        assert summary["kernel_invocations"] == {"k1": 2, "k2": 1}
+        assert summary["launch_seconds"] == pytest.approx(0.25)
+        assert first.seconds == pytest.approx(0.25)
+
+    def test_kernel_stats_table_renders_device_stats(self):
+        from repro.harness import kernel_stats_table
+
+        gpu = SimulatedGPU()
+        device = gpu.alloc((32,), f64)
+        launch = gpu.record_launch("k1", (1, 1, 1), (32, 1, 1), [device])
+        gpu.finish_launch(launch, 0.5)
+        table = kernel_stats_table(gpu)
+        assert "k1" in table and "0.5000" in table
+
 
 class TestCostModels:
     """The performance model must reproduce the *shape* of every figure."""

@@ -1,0 +1,212 @@
+"""Edge-case tests for the GPU data-management passes.
+
+The happy path (one stencil function, one call site inside a time loop, 3-D
+tiles) is covered in ``test_extraction_lowering.py``; these tests pin the
+branches around it: call sites with **no enclosing loop** (anchor falls back
+to the call itself), **multiple call sites** of one stencil function (every
+site must be rewritten to the device pointers), **non-3-D tile annotations**
+(short/long tile tuples and sub-3-D domains), and the **stream/prefetch
+annotations** consumed by the runtime's stream model.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps import gauss_seidel
+from repro.dialects import fir, gpu
+from repro.dialects.func import FuncOp
+from repro.ir import default_context
+from repro.runtime import SimulatedGPU
+from repro.transforms.gpu_data_management import (
+    GpuOptimisedDataPass,
+    _annotate_kernel_launch,
+)
+
+
+def _stencil_calls(fir_module, extracted):
+    return [op for op in fir_module.walk()
+            if isinstance(op, fir.CallOp) and op.callee in extracted]
+
+
+def _average_reference(data: np.ndarray) -> np.ndarray:
+    """One Jacobi sweep of Listing 1's 2-D averaging kernel."""
+    out = data.copy()
+    out[1:-1, 1:-1] = (data[1:-1, :-2] + data[1:-1, 2:]
+                       + data[:-2, 1:-1] + data[2:, 1:-1]) * 0.25
+    return out
+
+
+class TestCallSiteWithoutEnclosingLoop:
+    """Listing 1 has no time loop: the data-management calls anchor directly
+    at the stencil call instead of an enclosing fir.do_loop."""
+
+    @pytest.mark.parametrize("strategy", ["optimised", "host_register"])
+    def test_data_calls_anchor_at_the_call(self, listing1_source, strategy):
+        compiled = repro.Session().compile(listing1_source).lower(
+            "gpu", data_strategy=strategy
+        )
+        func_op = next(
+            op for op in compiled.fir_module.walk()
+            if isinstance(op, FuncOp) and op.sym_name == "average"
+        )
+        top_level_calls = [
+            op.callee for op in func_op.entry_block.ops
+            if isinstance(op, fir.CallOp)
+        ]
+        stencil_name = compiled.extracted_functions[0]
+        assert stencil_name in top_level_calls
+        if strategy == "optimised":
+            prefix = "_gpu_alloc_"
+            assert any(c.startswith("_gpu_free_") for c in top_level_calls)
+            # alloc before the stencil call, free after it.
+            assert top_level_calls.index(f"_gpu_alloc_{stencil_name}") \
+                < top_level_calls.index(stencil_name) \
+                < top_level_calls.index(f"_gpu_free_{stencil_name}")
+        else:
+            prefix = "_gpu_register_"
+            assert top_level_calls.index(f"_gpu_register_{stencil_name}") \
+                < top_level_calls.index(stencil_name)
+        assert any(c.startswith(prefix) for c in top_level_calls)
+
+    def test_execution_matches_reference(self, listing1_source):
+        compiled = repro.Session().compile(listing1_source).lower(
+            "gpu", data_strategy="optimised"
+        )
+        rng = np.random.default_rng(5)
+        data = np.asfortranarray(rng.random((16, 16)))
+        reference = _average_reference(data)
+        device = SimulatedGPU()
+        compiled.run("average", data, gpu=device)
+        assert np.allclose(data, reference)
+        assert len(device.launches) == 1
+
+
+class TestMultipleCallSites:
+    """Every call site of one stencil function must be rewritten to the
+    device pointers returned by the single hoisted allocation call."""
+
+    def _artifact_with_duplicated_call(self, n=8, niters=2):
+        session = repro.Session()  # private session: the artifact is mutated
+        compiled = session.compile(
+            gauss_seidel.generate_source(n, niters=niters)
+        ).lower("cpu")
+        call = _stencil_calls(compiled.fir_module,
+                              set(compiled.extracted_functions))[0]
+        duplicate = call.clone({})
+        call.parent_block().insert_op_after(duplicate, call)
+        return compiled
+
+    def test_all_sites_rewritten_to_device_pointers(self):
+        compiled = self._artifact_with_duplicated_call()
+        GpuOptimisedDataPass(stencil_module=compiled.stencil_module).apply(
+            default_context(), compiled.fir_module
+        )
+        compiled.fir_module.verify()
+        calls = _stencil_calls(compiled.fir_module,
+                               set(compiled.extracted_functions))
+        assert len(calls) == 2
+        alloc_call = next(
+            op for op in compiled.fir_module.walk()
+            if isinstance(op, fir.CallOp) and op.callee.startswith("_gpu_alloc_")
+        )
+        device_ptrs = set(map(id, alloc_call.results))
+        for call in calls:
+            assert id(call.operands[0]) in device_ptrs
+        # One allocation, one free — not one per call site.
+        data_calls = [op.callee for op in compiled.fir_module.walk()
+                      if isinstance(op, fir.CallOp)
+                      and op.callee.startswith(("_gpu_alloc_", "_gpu_free_"))]
+        assert len(data_calls) == 2
+
+    def test_duplicated_call_executes_two_sweeps_per_iteration(self):
+        n, niters = 8, 2
+        compiled = self._artifact_with_duplicated_call(n, niters)
+        GpuOptimisedDataPass(stencil_module=compiled.stencil_module).apply(
+            default_context(), compiled.fir_module
+        )
+        init = gauss_seidel.initial_condition(n)
+        work = init.copy(order="F")
+        device = SimulatedGPU()
+        interp = compiled.interpreter(gpu=device)
+        interp.call("gauss_seidel", work)
+        # Two call sites per time-loop iteration: 2 * niters Jacobi sweeps.
+        assert np.allclose(work, gauss_seidel.reference_jacobi(init, 2 * niters))
+        assert len(device.launches) == 2 * niters
+
+
+class TestTileAnnotations:
+    """`_annotate_kernel_launch` must normalise any tile rank against any
+    domain rank."""
+
+    def test_short_tile_tuple_padded_to_three_dims(self, small_gs_source):
+        compiled = repro.Session().compile(small_gs_source).lower(
+            "gpu", tile_sizes=(4,)
+        )
+        func_op = compiled.stencil_module.get_symbol(
+            compiled.extracted_functions[0]
+        )
+        block = func_op.get_attr("gpu.block").as_tuple()
+        grid = func_op.get_attr("gpu.grid").as_tuple()
+        assert block == (4, 1, 1)  # missing tile entries default to 1
+        domain = (8, 8, 8)  # n=10 minus boundaries
+        for d in range(3):
+            assert grid[d] * block[d] >= domain[d]
+
+    def test_three_entry_tile_on_two_d_domain(self, listing1_source):
+        compiled = repro.Session().compile(listing1_source).lower(
+            "gpu", tile_sizes=(32, 32, 8)
+        )
+        func_op = compiled.stencil_module.get_symbol(
+            compiled.extracted_functions[0]
+        )
+        # The 2-D (14, 14) domain clips the 32x32 tile; the z entry is
+        # beyond the domain rank and collapses to 1.
+        assert func_op.get_attr("gpu.block").as_tuple() == (14, 14, 1)
+        assert func_op.get_attr("gpu.grid").as_tuple() == (1, 1, 1)
+
+    def test_oversized_tile_tuple_is_truncated(self):
+        fn = FuncOp.build("no_apply", [], [])
+        _annotate_kernel_launch(fn, tile=(2, 2, 2, 2, 2))
+        # No stencil.apply inside: the annotation degrades to a unit launch.
+        assert fn.get_attr("gpu.grid").as_tuple() == (1, 1, 1)
+        assert fn.get_attr("gpu.block").as_tuple() == (1, 1, 1)
+        assert fn.get_attr_or_none("gpu.launch") is not None
+
+
+class TestStreamAndPrefetchAnnotations:
+    def test_distinct_stencils_get_distinct_stream_assignments(self):
+        from repro.apps import pw_advection
+
+        # Two subroutines -> two extracted stencil functions.
+        source = (gauss_seidel.generate_source(8, niters=1)
+                  + pw_advection.generate_source(8))
+        compiled = repro.Session().compile(source).lower("gpu")
+        streams = sorted(
+            int(compiled.stencil_module.get_symbol(name).get_attr("gpu.stream").value)
+            for name in compiled.extracted_functions
+        )
+        assert streams == list(range(len(streams)))
+        assert len(streams) >= 2
+
+    def test_optimised_alloc_function_is_a_prefetch_point(self, small_gs_source):
+        compiled = repro.Session().compile(small_gs_source).lower(
+            "gpu", data_strategy="optimised"
+        )
+        alloc_funcs = [
+            op for op in compiled.stencil_module.walk()
+            if isinstance(op, FuncOp) and op.sym_name.startswith("_gpu_alloc_")
+        ]
+        assert alloc_funcs
+        assert all(f.get_attr_or_none("gpu.prefetch") is not None
+                   for f in alloc_funcs)
+
+    def test_outlined_launch_inherits_stream_assignment(self, small_gs_source):
+        compiled = repro.Session().compile(small_gs_source).lower(
+            "gpu", data_strategy="optimised", lower_to_scf=True
+        )
+        launches = [op for op in compiled.stencil_module.walk()
+                    if isinstance(op, gpu.LaunchFuncOp)]
+        assert launches
+        assert all(op.get_attr_or_none("gpu.stream") is not None
+                   for op in launches)
