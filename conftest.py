@@ -6,6 +6,12 @@ paper-figure benchmarks back in; the skip logic itself lives in
 tier-1 command (``PYTHONPATH=src python -m pytest -x -q``) therefore runs the
 full correctness suite plus the fast benchmark smoke checks, while the
 pytest-benchmark timing runs stay behind ``--figures``.
+
+``--fuzz-seeds N`` scales the differential fuzz test
+(``tests/fuzz/test_differential_fuzz.py``) from the fast tier-1 smoke
+(default 10 seeds) to a deep local run without code edits, e.g.::
+
+    PYTHONPATH=src python -m pytest tests/fuzz -q --fuzz-seeds 200
 """
 
 
@@ -15,6 +21,14 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run the slow paper-figure benchmarks (skipped by default)",
+    )
+    parser.addoption(
+        "--fuzz-seeds",
+        action="store",
+        type=int,
+        default=10,
+        metavar="N",
+        help="seeds for the differential fuzz smoke test (default: 10)",
     )
 
 

@@ -1,0 +1,10 @@
+
+subroutine kernel_s11(a)
+  implicit none
+  integer, parameter :: n1 = 5
+  real(kind=8), intent(inout) :: a(n1)
+  integer :: i
+  do i = 2, n1 - 1
+      a(i) = 1.000d0
+  end do
+end subroutine kernel_s11

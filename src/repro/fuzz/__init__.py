@@ -1,0 +1,73 @@
+"""Differential fuzz farm: generative kernels, every backend, one oracle.
+
+The subsystem has four layers (ROADMAP open item 4):
+
+* :mod:`repro.fuzz.generator` — seeded, trace-recording generation of
+  *executable* stencil kernels as structured :class:`KernelSpec` trees
+  (rank, nest depth, offsets, intrinsics, sweeps, grid shapes), rendered
+  to Fortran on demand;
+* :mod:`repro.fuzz.runner` — the differential matrix: each spec compiled
+  through every registered backend via the fluent ``Program`` API, run
+  across ``interpret``/``vectorize``/``crosscheck`` modes and thread /
+  rank / stream counts, all outputs compared bitwise against the scalar
+  interpreter oracle;
+* :mod:`repro.fuzz.minimizer` — deterministic delta-debugging of any
+  divergent spec while the divergence still reproduces;
+* :mod:`repro.fuzz.corpus` — the persisted ``fuzz/corpus/`` of minimized
+  regression kernels that tier-1 replays.
+
+CLI: ``python -m repro.fuzz --seeds N [--time-budget S]``.
+"""
+
+from .corpus import (
+    CorpusEntry,
+    DEFAULT_CORPUS_DIR,
+    entry_from_divergence,
+    load_corpus,
+    minimize_and_save,
+    replay_entry,
+    save_entry,
+)
+from .generator import (
+    DEFAULT_CONFIG,
+    GeneratorConfig,
+    KernelSpec,
+    gen_expression,
+    gen_kernel,
+    generate_spec,
+)
+from .minimizer import MinimizationResult, minimize
+from .runner import (
+    BackendConfig,
+    CaseResult,
+    DifferentialRunner,
+    Divergence,
+    FuzzFarm,
+    FuzzReport,
+    default_matrix,
+)
+
+__all__ = [
+    "BackendConfig",
+    "CaseResult",
+    "CorpusEntry",
+    "DEFAULT_CONFIG",
+    "DEFAULT_CORPUS_DIR",
+    "DifferentialRunner",
+    "Divergence",
+    "FuzzFarm",
+    "FuzzReport",
+    "GeneratorConfig",
+    "KernelSpec",
+    "MinimizationResult",
+    "default_matrix",
+    "entry_from_divergence",
+    "gen_expression",
+    "gen_kernel",
+    "generate_spec",
+    "load_corpus",
+    "minimize",
+    "minimize_and_save",
+    "replay_entry",
+    "save_entry",
+]

@@ -1,0 +1,147 @@
+"""CLI driver for the differential fuzz farm.
+
+Examples::
+
+    # Run 50 fresh seeds through the full backend x mode matrix:
+    PYTHONPATH=src python -m repro.fuzz --seeds 50
+
+    # Bounded smoke run (CI): stop after 60 seconds, replay corpus too:
+    PYTHONPATH=src python -m repro.fuzz --seeds 200 --time-budget 60
+
+    # Replay one seed (the repro command a Divergence prints):
+    PYTHONPATH=src python -m repro.fuzz --replay-seed 17
+
+    # Replay every persisted corpus case through the full matrix:
+    PYTHONPATH=src python -m repro.fuzz --replay-corpus
+
+Exit status is non-zero when any divergence is found (or a corpus replay
+regresses), so the command is CI-gateable as-is.  New divergences are
+delta-debugged and saved into the corpus automatically unless
+``--no-minimize`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..harness import fuzz_summary_table
+from .corpus import DEFAULT_CORPUS_DIR, load_corpus, minimize_and_save, replay_entry
+from .generator import DEFAULT_CONFIG, generate_spec
+from .runner import DifferentialRunner, FuzzFarm
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description=("Differential fuzzing: generated kernels through every "
+                     "backend and execution mode, compared bitwise against "
+                     "the scalar interpreter oracle."))
+    parser.add_argument("--seeds", type=int, default=25, metavar="N",
+                        help="number of seeds to fuzz (default: 25)")
+    parser.add_argument("--start-seed", type=int, default=0, metavar="S",
+                        help="first seed of the range (default: 0)")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop starting new cases after this many seconds")
+    parser.add_argument("--backends", nargs="+", default=None,
+                        metavar="NAME",
+                        help="restrict the matrix to these backends "
+                             "(default: all registered)")
+    parser.add_argument("--corpus", type=Path, default=DEFAULT_CORPUS_DIR,
+                        metavar="DIR",
+                        help="corpus directory for minimized failures "
+                             f"(default: {DEFAULT_CORPUS_DIR})")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="report divergences without delta-debugging "
+                             "or saving them")
+    parser.add_argument("--replay-seed", type=int, default=None, metavar="S",
+                        help="replay a single seed through the matrix "
+                             "and exit")
+    parser.add_argument("--config", default=None, metavar="LABEL",
+                        help="with --replay-seed: only check this "
+                             "configuration label")
+    parser.add_argument("--replay-corpus", action="store_true",
+                        help="replay every corpus entry through the full "
+                             "matrix and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-case progress output")
+    return parser
+
+
+def _replay_seed(args) -> int:
+    runner = DifferentialRunner(backends=args.backends)
+    spec = generate_spec(args.replay_seed, DEFAULT_CONFIG)
+    print(spec.render())
+    if args.config:
+        diverged = runner.reproduces(spec, args.config)
+        print(f"[{args.config}] {'DIVERGES' if diverged else 'ok'}")
+        return 1 if diverged else 0
+    result = runner.run_case(spec)
+    for divergence in result.divergences:
+        print(divergence.describe())
+    print(f"{result.configs_run} configurations, "
+          f"{len(result.divergences)} divergences")
+    return 0 if result.ok else 1
+
+
+def _replay_corpus(args) -> int:
+    entries = load_corpus(args.corpus)
+    if not entries:
+        print(f"corpus {args.corpus} is empty")
+        return 0
+    runner = DifferentialRunner(backends=args.backends)
+    regressions = 0
+    for entry in entries:
+        divergences = replay_entry(entry, runner)
+        status = "ok" if not divergences else "REGRESSED"
+        print(f"{entry.name} [{entry.config_label}] {status}")
+        for divergence in divergences:
+            print("  " + divergence.describe().replace("\n", "\n  "))
+        regressions += len(divergences)
+    print(f"{len(entries)} corpus entries replayed, {regressions} regressions")
+    return 0 if regressions == 0 else 1
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.replay_seed is not None:
+        return _replay_seed(args)
+    if args.replay_corpus:
+        return _replay_corpus(args)
+
+    farm = FuzzFarm(count=args.seeds, start=args.start_seed,
+                    backends=args.backends, time_budget=args.time_budget)
+
+    def on_case(result):
+        if args.quiet:
+            return
+        marker = "ok " if result.ok else "DIV"
+        print(f"  seed {result.spec.seed:>5} [{result.spec.style:>11}] "
+              f"rank {result.spec.rank} {marker} "
+              f"({result.configs_run} configs)")
+
+    report = farm.run(on_case=on_case)
+    print()
+    print(fuzz_summary_table(report))
+    if report.divergences:
+        print()
+        for divergence in report.divergences:
+            print(divergence.describe())
+        if not args.no_minimize:
+            print()
+            for divergence in report.divergences:
+                entry = minimize_and_save(
+                    divergence, farm.runner,
+                    generator_config=farm.generator_config,
+                    corpus_dir=args.corpus)
+                print(f"minimized seed {divergence.seed} "
+                      f"[{divergence.config_label}]: size "
+                      f"{entry.original_size} -> {entry.spec.size()}, "
+                      f"saved {args.corpus / (entry.name + '.json')}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

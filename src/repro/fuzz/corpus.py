@@ -1,0 +1,144 @@
+"""Persisted regression corpus of minimized divergent kernels.
+
+Every divergence the farm catches is minimized and saved as a corpus
+entry: a JSON file holding the **spec** (the authoritative, replayable
+artifact), the divergent configuration label, the generator config, and a
+shell repro command — plus the rendered minimal ``.f90`` next to it for
+human eyes.  Tier-1 replays the whole corpus through the differential
+runner on every run (``tests/fuzz/test_corpus_replay.py``): a corpus
+entry is a *fixed* miscompile, so replay must report **zero** divergences.
+
+Entries live in ``fuzz/corpus/`` at the repository root and are committed;
+the directory is the long-term memory of every bug the farm ever found.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .generator import DEFAULT_CONFIG, GeneratorConfig, KernelSpec
+from .minimizer import minimize
+from .runner import DifferentialRunner, Divergence
+
+#: Default corpus location: ``<repo root>/fuzz/corpus``.
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "fuzz" / "corpus"
+
+
+@dataclass
+class CorpusEntry:
+    """One minimized regression case."""
+
+    name: str
+    seed: int
+    config_label: str
+    kind: str
+    detail: str
+    spec: KernelSpec
+    generator_config: GeneratorConfig
+    repro_command: str
+    #: Spec size before minimization, for the record.
+    original_size: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "config_label": self.config_label,
+            "kind": self.kind,
+            "detail": self.detail,
+            "spec": self.spec.to_dict(),
+            "generator_config": self.generator_config.to_dict(),
+            "repro_command": self.repro_command,
+            "original_size": self.original_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CorpusEntry":
+        return cls(
+            name=data["name"],
+            seed=data["seed"],
+            config_label=data["config_label"],
+            kind=data["kind"],
+            detail=data["detail"],
+            spec=KernelSpec.from_dict(data["spec"]),
+            generator_config=GeneratorConfig.from_dict(
+                data.get("generator_config", {})),
+            repro_command=data.get("repro_command", ""),
+            original_size=data.get("original_size", 0),
+        )
+
+
+def entry_from_divergence(divergence: Divergence,
+                          minimized: KernelSpec,
+                          generator_config: GeneratorConfig = DEFAULT_CONFIG
+                          ) -> CorpusEntry:
+    safe_label = divergence.config_label.replace("/", "-")
+    return CorpusEntry(
+        name=f"seed{divergence.seed}-{safe_label}",
+        seed=divergence.seed,
+        config_label=divergence.config_label,
+        kind=divergence.kind,
+        detail=divergence.detail,
+        spec=minimized,
+        generator_config=generator_config,
+        repro_command=divergence.repro_command,
+        original_size=divergence.spec.size(),
+    )
+
+
+def save_entry(entry: CorpusEntry,
+               corpus_dir: Path = DEFAULT_CORPUS_DIR) -> Path:
+    """Write ``<name>.json`` (authoritative) and ``<name>.f90`` (rendered)."""
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    json_path = corpus_dir / f"{entry.name}.json"
+    json_path.write_text(json.dumps(entry.to_dict(), indent=2,
+                                    sort_keys=True) + "\n")
+    (corpus_dir / f"{entry.name}.f90").write_text(entry.spec.render())
+    return json_path
+
+
+def load_corpus(corpus_dir: Path = DEFAULT_CORPUS_DIR) -> List[CorpusEntry]:
+    if not corpus_dir.is_dir():
+        return []
+    entries = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        entries.append(CorpusEntry.from_dict(json.loads(path.read_text())))
+    return entries
+
+
+def replay_entry(entry: CorpusEntry,
+                 runner: Optional[DifferentialRunner] = None) -> List[Divergence]:
+    """Re-run one corpus spec through the *full* matrix; a fixed bug must
+    come back clean, so any divergence returned is a regression."""
+    if runner is None:
+        runner = DifferentialRunner()
+    return runner.run_case(entry.spec).divergences
+
+
+def minimize_and_save(divergence: Divergence,
+                      runner: DifferentialRunner,
+                      generator_config: GeneratorConfig = DEFAULT_CONFIG,
+                      corpus_dir: Path = DEFAULT_CORPUS_DIR) -> CorpusEntry:
+    """The farm's capture path: delta-debug the divergent spec against its
+    configuration, persist the minimal kernel, return the entry."""
+    result = minimize(
+        divergence.spec,
+        lambda spec: runner.reproduces(spec, divergence.config_label))
+    entry = entry_from_divergence(divergence, result.minimized,
+                                  generator_config)
+    save_entry(entry, corpus_dir)
+    return entry
+
+
+__all__ = [
+    "CorpusEntry",
+    "DEFAULT_CORPUS_DIR",
+    "entry_from_divergence",
+    "save_entry",
+    "load_corpus",
+    "replay_entry",
+    "minimize_and_save",
+]

@@ -1,0 +1,424 @@
+"""The differential fuzz runner: every backend × execution mode vs the oracle.
+
+For each :class:`repro.fuzz.KernelSpec` the runner compiles the rendered
+source through the fluent ``Program`` API of one shared :class:`repro.api.Session`
+(the whole farm deliberately runs on a single session so the artifact cache
+is exercised under churn — runtime-mode derivations of one case must hit,
+distinct cases must miss) and executes a configuration matrix:
+
+* **oracle** — the cpu backend in ``interpret`` mode: pure op-by-op scalar
+  execution, the reference semantics every other path is judged against;
+* **cpu / openmp / gpu** — vectorized and crosscheck modes, lowered and
+  unlowered pipelines, thread counts, OpenMP schedules and GPU stream
+  counts — each compared **bitwise** (``ndarray.tobytes()``) against the
+  oracle's output arrays;
+* **flang-only** — plain-FIR in-place execution, compared only for specs
+  where snapshot and in-place semantics provably coincide
+  (:attr:`KernelSpec.flang_comparable`);
+* **dmp** — distributed-style specs run through ``distribute(...)`` over
+  1/2/4-rank process grids with real halo exchanges.  Rank-padded arrays
+  carry ghost planes the plain-cpu loop does not have, so the dmp island
+  has its own oracle: the 1-rank *interpret* distributed run, against which
+  every multi-rank/vectorized plan must agree bitwise.
+
+Any bitwise mismatch, crosscheck failure, or backend crash is recorded as a
+:class:`Divergence` carrying the spec and a replay command; the
+:class:`FuzzFarm` aggregates per-backend run/divergence/fallback counters
+into a :class:`FuzzReport` that ``repro.harness.fuzz_summary_table`` renders.
+
+A **test-only fault hook** may be installed on the runner
+(``fault_hook(spec, config_label, outputs)``) to perturb a configuration's
+outputs after execution — the injected-miscompile path used to prove the
+farm catches, minimizes and persists real divergences.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api.session import Session
+from ..runtime.interpreter import InterpreterError
+from .generator import DEFAULT_CONFIG, GeneratorConfig, KernelSpec, generate_spec
+
+#: Interpreter stat counters summed into the per-backend fallback column.
+_FALLBACK_STATS = ("vectorize_fallbacks", "parallel_fallbacks",
+                   "gpu_launch_fallbacks")
+
+#: Test-only output perturbation: (spec, config label, outputs) -> None.
+FaultHook = Callable[[KernelSpec, str, Dict[str, np.ndarray]], None]
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """One cell of the differential matrix.
+
+    ``options`` are compile-time backend options (frozen into the session
+    cache key); ``threads`` and ``execution_mode`` are runtime-only.  dmp
+    cells set ``grid`` and run through the distributed executor with
+    ``iterations`` entry calls per rank.
+    """
+
+    label: str
+    backend: str
+    execution_mode: str
+    options: Tuple[Tuple[str, object], ...] = ()
+    threads: int = 1
+    grid: Optional[Tuple[int, ...]] = None
+    iterations: int = 1
+
+    def option_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+
+def _cfg(label: str, backend: str, mode: str, threads: int = 1,
+         grid: Optional[Tuple[int, ...]] = None, iterations: int = 1,
+         **options) -> BackendConfig:
+    return BackendConfig(label=label, backend=backend, execution_mode=mode,
+                         options=tuple(sorted(options.items())),
+                         threads=threads, grid=grid, iterations=iterations)
+
+
+#: dmp entry calls per rank — >1 so halo exchanges between snapshots run.
+_DMP_ITERATIONS = 2
+
+
+def default_matrix(spec: KernelSpec,
+                   backends: Optional[Sequence[str]] = None) -> List[BackendConfig]:
+    """The configuration matrix one spec runs through (oracle excluded).
+
+    ``backends`` optionally restricts the matrix to a subset of backend
+    names (the CLI's ``--backends``).
+    """
+    configs = [
+        _cfg("cpu/vectorize", "cpu", "vectorize"),
+        _cfg("cpu/crosscheck", "cpu", "crosscheck"),
+        _cfg("cpu-scf/vectorize", "cpu", "vectorize", lower_to_scf=True),
+        _cfg("openmp-static-t2/vectorize", "openmp", "vectorize", threads=2,
+             lower_to_scf=True),
+        _cfg("openmp-dynamic-t4/crosscheck", "openmp", "crosscheck",
+             threads=4, lower_to_scf=True, schedule="dynamic", chunk_size=2),
+        _cfg("gpu/vectorize", "gpu", "vectorize"),
+        _cfg("gpu-scf-s2/vectorize", "gpu", "vectorize", lower_to_scf=True,
+             streams=2),
+    ]
+    if spec.flang_comparable:
+        configs.append(_cfg("flang-only/interpret", "flang-only", "interpret"))
+    if spec.style == "distributed":
+        configs.extend([
+            _cfg("dmp-1x1/vectorize", "dmp", "vectorize", grid=(1, 1),
+                 iterations=_DMP_ITERATIONS),
+            _cfg("dmp-2x1/vectorize", "dmp", "vectorize", grid=(2, 1),
+                 iterations=_DMP_ITERATIONS),
+            _cfg("dmp-2x2/vectorize", "dmp", "vectorize", grid=(2, 2),
+                 iterations=_DMP_ITERATIONS),
+        ])
+    if backends is not None:
+        allowed = set(backends)
+        configs = [c for c in configs if c.backend in allowed]
+    return configs
+
+
+@dataclass
+class Divergence:
+    """One configuration disagreeing with its oracle (or crashing)."""
+
+    seed: int
+    config_label: str
+    backend: str
+    #: "bitwise" (outputs differ), "crosscheck" (the honesty mode raised),
+    #: or "error" (the backend crashed on a valid kernel).
+    kind: str
+    detail: str
+    spec: KernelSpec
+    arrays: Tuple[str, ...] = ()
+    max_abs_diff: Optional[float] = None
+
+    @property
+    def repro_command(self) -> str:
+        return (f"PYTHONPATH=src python -m repro.fuzz "
+                f"--replay-seed {self.seed} --config '{self.config_label}'")
+
+    def describe(self) -> str:
+        extra = f" arrays={list(self.arrays)}" if self.arrays else ""
+        diff = (f" max|diff|={self.max_abs_diff:.3e}"
+                if self.max_abs_diff is not None else "")
+        return (f"seed {self.seed} [{self.config_label}] {self.kind}:"
+                f" {self.detail}{extra}{diff}\n  repro: {self.repro_command}")
+
+
+@dataclass
+class CaseResult:
+    spec: KernelSpec
+    divergences: List[Divergence] = field(default_factory=list)
+    configs_run: int = 0
+    #: Per-backend counters for this case: runs / divergences / fallbacks.
+    per_backend: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+@dataclass
+class FuzzReport:
+    """Aggregated farm results, rendered by ``harness.fuzz_summary_table``."""
+
+    cases: int = 0
+    configs_run: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+    per_backend: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    seconds: float = 0.0
+    budget_exhausted: bool = False
+    seeds_skipped: int = 0
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def merge_case(self, result: CaseResult) -> None:
+        self.cases += 1
+        self.configs_run += result.configs_run
+        self.divergences.extend(result.divergences)
+        for backend, counters in result.per_backend.items():
+            into = self.per_backend.setdefault(
+                backend, {"runs": 0, "divergences": 0, "fallbacks": 0})
+            for key, value in counters.items():
+                into[key] += value
+
+
+class DifferentialRunner:
+    """Runs one spec through the matrix and compares bitwise to the oracle."""
+
+    def __init__(self, session: Optional[Session] = None,
+                 backends: Optional[Sequence[str]] = None,
+                 fault_hook: Optional[FaultHook] = None):
+        self.session = session if session is not None else Session()
+        self.backends = tuple(backends) if backends is not None else None
+        self.fault_hook = fault_hook
+
+    # -- inputs --------------------------------------------------------------
+
+    def inputs_for(self, spec: KernelSpec) -> Tuple[Dict[str, np.ndarray], float]:
+        """Deterministic inputs for a spec: positive Fortran-ordered arrays
+        (one rng stream per array) and the scalar parameter."""
+        arrays = {}
+        for index, name in enumerate(spec.arrays):
+            rng = np.random.default_rng([spec.seed, index])
+            arrays[name] = np.asfortranarray(
+                rng.uniform(0.5, 2.0, size=spec.extents))
+        scalar = float(np.random.default_rng([spec.seed, 997]).uniform(0.5, 2.0))
+        return arrays, scalar
+
+    def _call_args(self, spec: KernelSpec,
+                   arrays: Dict[str, np.ndarray], scalar: float) -> List[object]:
+        args: List[object] = [arrays[name] for name in spec.arrays]
+        if spec.has_scalar:
+            args.append(scalar)
+        return args
+
+    # -- execution -----------------------------------------------------------
+
+    def _run_plain(self, spec: KernelSpec, backend: str, mode: str,
+                   threads: int, options: Dict[str, object],
+                   calls: int = 1) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        compiled = self.session.compile(spec.render()).lower(
+            backend, execution_mode=mode, threads=threads, **options)
+        arrays, scalar = self.inputs_for(spec)
+        work = {name: arr.copy(order="F") for name, arr in arrays.items()}
+        interp = compiled.interpreter()
+        # Repeated exp under a sweep loop can saturate to inf/NaN; that is
+        # deterministic and bitwise-compared like any other value, so the
+        # overflow warnings are noise, not findings.
+        with np.errstate(over="ignore", invalid="ignore"):
+            for _ in range(calls):
+                interp.call(spec.entry, *self._call_args(spec, work, scalar))
+        fallbacks = sum(int(interp.stats.get(key, 0))
+                        for key in _FALLBACK_STATS)
+        return work, {"fallbacks": fallbacks}
+
+    def _run_dmp(self, spec: KernelSpec, cfg: BackendConfig
+                 ) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        compiled = self.session.compile(spec.render()).lower(
+            "dmp", grid=cfg.grid, execution_mode=cfg.execution_mode,
+            threads=cfg.threads, **cfg.option_dict())
+        plan = compiled.distribute(
+            source_builder=lambda shape: spec.render(shape=shape),
+            entry=spec.entry,
+        )
+        arrays, _ = self.inputs_for(spec)
+        result = plan.run(arrays[spec.arrays[0]], iterations=cfg.iterations)
+        return {spec.arrays[0]: result.field}, {"fallbacks": 0}
+
+    def run_oracle(self, spec: KernelSpec) -> Dict[str, np.ndarray]:
+        """The scalar reference: cpu backend, pure interpretation."""
+        outputs, _ = self._run_plain(spec, "cpu", "interpret", 1, {})
+        return outputs
+
+    def run_dmp_oracle(self, spec: KernelSpec,
+                       iterations: int = _DMP_ITERATIONS) -> Dict[str, np.ndarray]:
+        """The distributed reference: 1-rank scatter/gather plan on the
+        scalar interpreter (padded ghost-plane semantics, no vectorization)."""
+        cfg = _cfg("dmp-oracle/interpret", "dmp", "interpret", grid=(1, 1),
+                   iterations=iterations)
+        outputs, _ = self._run_dmp(spec, cfg)
+        return outputs
+
+    def run_config(self, spec: KernelSpec, cfg: BackendConfig
+                   ) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        if cfg.backend == "dmp":
+            outputs, stats = self._run_dmp(spec, cfg)
+        else:
+            outputs, stats = self._run_plain(
+                spec, cfg.backend, cfg.execution_mode, cfg.threads,
+                cfg.option_dict())
+        if self.fault_hook is not None:
+            self.fault_hook(spec, cfg.label, outputs)
+        return outputs, stats
+
+    # -- comparison ----------------------------------------------------------
+
+    @staticmethod
+    def compare(expected: Dict[str, np.ndarray],
+                actual: Dict[str, np.ndarray]) -> Tuple[Tuple[str, ...], float]:
+        """Bitwise comparison of every output array; returns the names that
+        differ and the largest absolute elementwise difference among them."""
+        differing = []
+        max_diff = 0.0
+        for name, ref in expected.items():
+            got = actual[name]
+            if ref.tobytes() != got.tobytes():
+                differing.append(name)
+                with np.errstate(invalid="ignore"):
+                    delta = np.abs(ref - got)
+                finite = delta[np.isfinite(delta)]
+                diff = float(finite.max()) if finite.size else float("inf")
+                max_diff = max(max_diff, diff)
+        return tuple(differing), max_diff
+
+    # -- the per-case driver -------------------------------------------------
+
+    def run_case(self, spec: KernelSpec) -> CaseResult:
+        result = CaseResult(spec=spec)
+        oracle = self.run_oracle(spec)
+        dmp_oracle: Optional[Dict[str, np.ndarray]] = None
+        for cfg in default_matrix(spec, self.backends):
+            counters = result.per_backend.setdefault(
+                cfg.backend, {"runs": 0, "divergences": 0, "fallbacks": 0})
+            try:
+                outputs, stats = self.run_config(spec, cfg)
+            except InterpreterError as err:
+                # Crosscheck replays every vectorized sweep through the
+                # scalar oracle and raises on mismatch — a caught miscompile.
+                result.configs_run += 1
+                counters["runs"] += 1
+                counters["divergences"] += 1
+                result.divergences.append(Divergence(
+                    seed=spec.seed, config_label=cfg.label,
+                    backend=cfg.backend, kind="crosscheck",
+                    detail=str(err).splitlines()[0], spec=spec))
+                continue
+            except Exception as err:  # noqa: BLE001 — a crash IS a finding
+                result.configs_run += 1
+                counters["runs"] += 1
+                counters["divergences"] += 1
+                result.divergences.append(Divergence(
+                    seed=spec.seed, config_label=cfg.label,
+                    backend=cfg.backend, kind="error",
+                    detail=f"{type(err).__name__}: {err}", spec=spec))
+                continue
+            result.configs_run += 1
+            counters["runs"] += 1
+            counters["fallbacks"] += stats.get("fallbacks", 0)
+            if cfg.backend == "dmp":
+                if dmp_oracle is None:
+                    dmp_oracle = self.run_dmp_oracle(spec, cfg.iterations)
+                expected = dmp_oracle
+            else:
+                expected = oracle
+            differing, max_diff = self.compare(expected, outputs)
+            if differing:
+                counters["divergences"] += 1
+                result.divergences.append(Divergence(
+                    seed=spec.seed, config_label=cfg.label,
+                    backend=cfg.backend, kind="bitwise",
+                    detail="outputs differ from the scalar oracle",
+                    spec=spec, arrays=differing, max_abs_diff=max_diff))
+        return result
+
+    def reproduces(self, spec: KernelSpec, config_label: str) -> bool:
+        """Does ``config_label`` still diverge for ``spec``?  The minimizer's
+        predicate: only the named configuration is re-run."""
+        matching = [c for c in default_matrix(spec, self.backends)
+                    if c.label == config_label]
+        if not matching:
+            return False
+        cfg = matching[0]
+        try:
+            outputs, _ = self.run_config(spec, cfg)
+        except Exception:  # noqa: BLE001 — crash still reproduces the finding
+            return True
+        if cfg.backend == "dmp":
+            expected = self.run_dmp_oracle(spec, cfg.iterations)
+        else:
+            expected = self.run_oracle(spec)
+        differing, _ = self.compare(expected, outputs)
+        return bool(differing)
+
+
+class FuzzFarm:
+    """Drives N seeds through the differential runner under a time budget."""
+
+    def __init__(self, seeds: Optional[Iterable[int]] = None, *,
+                 count: Optional[int] = None, start: int = 0,
+                 generator_config: GeneratorConfig = DEFAULT_CONFIG,
+                 session: Optional[Session] = None,
+                 backends: Optional[Sequence[str]] = None,
+                 fault_hook: Optional[FaultHook] = None,
+                 time_budget: Optional[float] = None):
+        if seeds is None:
+            seeds = range(start, start + (count if count is not None else 10))
+        self.seeds = list(seeds)
+        self.generator_config = generator_config
+        self.time_budget = time_budget
+        self.runner = DifferentialRunner(session=session, backends=backends,
+                                         fault_hook=fault_hook)
+
+    @property
+    def session(self) -> Session:
+        return self.runner.session
+
+    def run(self, on_case: Optional[Callable[[CaseResult], None]] = None
+            ) -> FuzzReport:
+        report = FuzzReport()
+        started = time.perf_counter()
+        for position, seed in enumerate(self.seeds):
+            if (self.time_budget is not None
+                    and time.perf_counter() - started > self.time_budget):
+                report.budget_exhausted = True
+                report.seeds_skipped = len(self.seeds) - position
+                break
+            spec = generate_spec(seed, self.generator_config)
+            result = self.runner.run_case(spec)
+            report.merge_case(result)
+            if on_case is not None:
+                on_case(result)
+        report.seconds = time.perf_counter() - started
+        report.cache_stats = dict(self.session.cache_stats)
+        return report
+
+
+__all__ = [
+    "BackendConfig",
+    "default_matrix",
+    "Divergence",
+    "CaseResult",
+    "FuzzReport",
+    "DifferentialRunner",
+    "FuzzFarm",
+    "FaultHook",
+]

@@ -16,7 +16,12 @@ from .experiments import (
     measured_gpu_scaling,
     measured_openmp_scaling,
 )
-from .reporting import format_table, kernel_stats_table, run_all
+from .reporting import (
+    format_table,
+    fuzz_summary_table,
+    kernel_stats_table,
+    run_all,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -34,6 +39,7 @@ __all__ = [
     "distributed_functional_check",
     "ALL_EXPERIMENTS",
     "format_table",
+    "fuzz_summary_table",
     "kernel_stats_table",
     "run_all",
 ]

@@ -69,6 +69,37 @@ def kernel_stats_table(kernels) -> str:
     return format_table(result)
 
 
+def fuzz_summary_table(report) -> str:
+    """Render a :class:`repro.fuzz.FuzzReport` as an aligned text table:
+    one row per backend (runs, divergences, interpreter fallbacks) plus
+    totals, session cache counters and timing in the notes."""
+    from .experiments import ExperimentResult
+
+    result = ExperimentResult(
+        experiment="fuzz_summary",
+        description=(f"{report.cases} cases x differential matrix "
+                     f"({report.configs_run} configurations)"),
+        columns=("backend", "runs", "divergences", "fallbacks"),
+    )
+    for backend in sorted(report.per_backend):
+        counters = report.per_backend[backend]
+        result.add(backend, counters["runs"], counters["divergences"],
+                   counters["fallbacks"])
+    if not result.rows:
+        result.notes["empty"] = "no cases executed"
+    result.notes["divergences"] = len(report.divergences)
+    result.notes["seconds"] = f"{report.seconds:.2f}"
+    if report.cache_stats:
+        result.notes["cache"] = (
+            f"{report.cache_stats.get('hits', 0)} hits, "
+            f"{report.cache_stats.get('misses', 0)} misses, "
+            f"{report.cache_stats.get('artifacts', 0)} artifacts")
+    if report.budget_exhausted:
+        result.notes["time_budget"] = (
+            f"exhausted, {report.seeds_skipped} seeds skipped")
+    return format_table(result)
+
+
 def run_all(names: Iterable[str] = ()) -> str:
     """Run the requested experiments (all by default) and return their tables.
 
@@ -92,4 +123,5 @@ def run_all(names: Iterable[str] = ()) -> str:
     return "\n\n".join(sections)
 
 
-__all__ = ["format_table", "kernel_stats_table", "run_all"]
+__all__ = ["format_table", "fuzz_summary_table", "kernel_stats_table",
+           "run_all"]

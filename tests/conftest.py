@@ -37,3 +37,9 @@ end subroutine average
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fuzz_seeds(request):
+    """Seed count for the differential fuzz smoke, set by ``--fuzz-seeds``."""
+    return request.config.getoption("--fuzz-seeds")

@@ -1,9 +1,9 @@
 """Seeded generative round-trip tests for the frontend and the IR text.
 
-A deterministic generator (``random.Random(seed)`` — no hypothesis
-dependency) produces small Fortran kernels that vary array rank, loop-nest
-depth, neighbour-access offsets, intrinsics and expression shape.  For every
-kernel the full frontend must succeed (lex → parse → FIR generation +
+The deterministic kernel generator lives in :mod:`repro.fuzz.generator`
+(it started here and was promoted when the differential fuzz farm grew
+around it); these tests keep its parse-only contract pinned: for every
+seed the full frontend must succeed (lex → parse → FIR generation +
 verification), and the printed IR must re-parse to a structurally equal
 module (equal printed form, which for the generic syntax is a structural
 identity).
@@ -14,88 +14,8 @@ import random
 import pytest
 
 from repro.frontend import compile_to_fir, parse_source, tokenize
+from repro.fuzz.generator import gen_expression, gen_kernel
 from repro.ir import parse_module, print_module
-
-#: Unary intrinsics that lower to single math ops (safe at any nesting).
-UNARY_INTRINSICS = ("sqrt", "abs", "exp", "sin", "cos", "tan", "tanh")
-BINARY_OPS = ("+", "-", "*", "/")
-LOOP_VARS = ("i", "j", "k")
-
-
-def gen_expression(rng: random.Random, arrays, indices, depth: int) -> str:
-    """A random scalar-valued Fortran expression over array accesses."""
-    if depth <= 0 or rng.random() < 0.3:
-        kind = rng.randrange(3)
-        if kind == 0 and arrays:
-            name, rank = rng.choice(arrays)
-            subscripts = []
-            for dim in range(rank):
-                offset = rng.choice((-1, 0, 1))
-                var = indices[dim]
-                if offset == 0:
-                    subscripts.append(var)
-                else:
-                    subscripts.append(f"{var}{'+' if offset > 0 else '-'}{abs(offset)}")
-            return f"{name}({', '.join(subscripts)})"
-        if kind == 1:
-            return f"{rng.uniform(0.5, 4.0):.3f}d0"
-        return "s"
-    choice = rng.randrange(4)
-    if choice == 0:
-        intrinsic = rng.choice(UNARY_INTRINSICS)
-        return f"{intrinsic}({gen_expression(rng, arrays, indices, depth - 1)})"
-    if choice == 1:
-        fn = rng.choice(("min", "max"))
-        lhs = gen_expression(rng, arrays, indices, depth - 1)
-        rhs = gen_expression(rng, arrays, indices, depth - 1)
-        return f"{fn}({lhs}, {rhs})"
-    op = rng.choice(BINARY_OPS)
-    lhs = gen_expression(rng, arrays, indices, depth - 1)
-    rhs = gen_expression(rng, arrays, indices, depth - 1)
-    return f"({lhs} {op} {rhs})"
-
-
-def gen_kernel(seed: int) -> str:
-    """A random small Fortran subroutine: rank-1..3 arrays, a loop nest over
-    every dimension, 1-2 assignments with neighbour accesses and intrinsics."""
-    rng = random.Random(seed)
-    rank = rng.randrange(1, 4)
-    extents = [rng.randrange(5, 9) for _ in range(rank)]
-    indices = LOOP_VARS[:rank]
-    arrays = [("a", rank)]
-    if rng.random() < 0.6:
-        arrays.append(("b", rank))
-    dim_params = ", ".join(f"n{d + 1} = {extent}" for d, extent in enumerate(extents))
-    dim_names = ", ".join(f"n{d + 1}" for d in range(rank))
-    declarations = "\n".join(
-        f"  real(kind=8), intent(inout) :: {name}({dim_names})"
-        for name, _ in arrays
-    )
-    statements = []
-    for _ in range(rng.randrange(1, 3)):
-        target, target_rank = arrays[0]
-        lhs = f"{target}({', '.join(indices)})"
-        rhs = gen_expression(rng, arrays, indices, depth=rng.randrange(1, 4))
-        statements.append(f"{lhs} = {rhs}")
-    body = "\n".join("      " + s for s in statements)
-    # Offsets reach at most one cell, so 2..n-1 loop bounds stay in bounds.
-    opening = "\n".join(
-        f"  do {var} = 2, n{dim + 1} - 1"
-        for dim, var in reversed(list(enumerate(indices)))
-    )
-    closing = "\n".join("  end do" for _ in indices)
-    return f"""
-subroutine kernel{seed}({', '.join(name for name, _ in arrays)}, s)
-  implicit none
-  integer, parameter :: {dim_params}
-  real(kind=8), intent(inout) :: s
-{declarations}
-  integer :: {', '.join(indices)}
-{opening}
-{body}
-{closing}
-end subroutine kernel{seed}
-"""
 
 
 @pytest.mark.parametrize("seed", range(40))
@@ -121,3 +41,11 @@ def test_generator_is_deterministic():
 def test_generator_covers_every_rank():
     ranks = {random.Random(seed).randrange(1, 4) for seed in range(40)}
     assert ranks == {1, 2, 3}
+
+
+def test_gen_expression_importable_and_deterministic():
+    rng_a, rng_b = random.Random(3), random.Random(3)
+    arrays = [("a", 2)]
+    expr_a = gen_expression(rng_a, arrays, ("i", "j"), depth=3)
+    expr_b = gen_expression(rng_b, arrays, ("i", "j"), depth=3)
+    assert expr_a == expr_b

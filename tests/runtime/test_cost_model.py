@@ -1,0 +1,180 @@
+"""Direct coverage of the analytic cost model (`runtime/cost_model.py`).
+
+These predictions are the prior the ROADMAP autotuner will consume, so the
+tests pin their *shape* — orderings the paper reports (Cray fastest serial,
+Flang slowest; optimised GPU data management beats host_register) — and
+their *monotonicity* in threads, ranks, and problem size, not the absolute
+numbers (which are calibration artifacts).
+"""
+
+import pytest
+
+from repro.runtime.cost_model import (
+    CPUCostModel,
+    CRAY_PROFILE,
+    DistributedCostModel,
+    FLANG_PROFILE,
+    GAUSS_SEIDEL_KERNEL,
+    GPU_STRATEGIES,
+    GPUCostModel,
+    KERNELS,
+    PROFILES,
+    PW_ADVECTION_KERNEL,
+    STENCIL_PROFILE,
+    STRATEGY_HOST_REGISTER,
+    STRATEGY_OPTIMISED,
+)
+
+CELLS = 512.0 ** 2 * 64
+
+
+@pytest.fixture
+def cpu():
+    return CPUCostModel()
+
+
+@pytest.fixture
+def gpu():
+    return GPUCostModel()
+
+
+@pytest.fixture
+def dmp():
+    return DistributedCostModel()
+
+
+# -- registry shape ----------------------------------------------------------
+
+
+def test_kernel_and_profile_registries():
+    assert set(KERNELS) == {"gauss_seidel", "pw_advection"}
+    assert set(PROFILES) == {"cray", "flang", "stencil"}
+    assert set(GPU_STRATEGIES) == {
+        "stencil_host_register", "stencil_optimised", "openacc_nvidia"}
+
+
+def test_bytes_for_falls_back_to_three_doubles():
+    assert GAUSS_SEIDEL_KERNEL.bytes_for("no_such_profile") == 3 * 8.0
+    assert GAUSS_SEIDEL_KERNEL.bytes_for("stencil") == 40.0
+
+
+def test_flang_pays_per_textual_reference():
+    """Flang re-materialises addressing for every textual array reference;
+    the CSE'd flows pay per unique access."""
+    assert FLANG_PROFILE.uses_textual_refs
+    assert not CRAY_PROFILE.uses_textual_refs
+    assert (FLANG_PROFILE.overhead_ops(PW_ADVECTION_KERNEL)
+            > CRAY_PROFILE.overhead_ops(PW_ADVECTION_KERNEL))
+
+
+# -- CPU: serial ordering and thread monotonicity ----------------------------
+
+
+@pytest.mark.parametrize("kernel", KERNELS.values(), ids=lambda k: k.name)
+def test_serial_ordering_cray_fastest_flang_slowest(cpu, kernel):
+    cray = cpu.throughput_mcells(kernel, CRAY_PROFILE, CELLS)
+    stencil = cpu.throughput_mcells(kernel, STENCIL_PROFILE, CELLS)
+    flang = cpu.throughput_mcells(kernel, FLANG_PROFILE, CELLS)
+    assert cray > stencil > flang
+
+
+def test_flang_gap_is_larger_on_flop_heavy_kernel(cpu):
+    """§4.2: Flang trails by 2-3x on Gauss-Seidel but by roughly an order
+    of magnitude on PW advection."""
+    def gap(kernel):
+        return (cpu.throughput_mcells(kernel, STENCIL_PROFILE, CELLS)
+                / cpu.throughput_mcells(kernel, FLANG_PROFILE, CELLS))
+    assert gap(PW_ADVECTION_KERNEL) > gap(GAUSS_SEIDEL_KERNEL)
+    assert gap(PW_ADVECTION_KERNEL) > 4.0
+
+
+@pytest.mark.parametrize("profile", PROFILES.values(), ids=lambda p: p.name)
+def test_time_per_cell_never_increases_with_threads(cpu, profile):
+    times = [cpu.time_per_cell(GAUSS_SEIDEL_KERNEL, profile, threads=t)
+             for t in (1, 2, 4, 8, 16)]
+    assert all(a >= b for a, b in zip(times, times[1:]))
+    assert times[-1] < times[0]  # parallelism must actually help
+
+
+def test_throughput_positive_and_finite(cpu):
+    for kernel in KERNELS.values():
+        for profile in PROFILES.values():
+            value = cpu.throughput_mcells(kernel, profile, CELLS, threads=4)
+            assert 0.0 < value < 1e6
+
+
+def test_omp_overhead_hurts_small_grids_more(cpu):
+    """Fork/join overhead is amortised by cells: the threaded speedup on a
+    tiny grid must be below the speedup on a large grid."""
+    def speedup(cells):
+        serial = cpu.throughput_mcells(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE,
+                                       cells, threads=1)
+        threaded = cpu.throughput_mcells(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE,
+                                         cells, threads=16)
+        return threaded / serial
+    assert speedup(64.0 ** 3) > speedup(16.0 ** 2)
+
+
+# -- GPU: strategy ordering and PCIe accounting ------------------------------
+
+
+def test_optimised_strategy_beats_host_register(gpu):
+    for kernel in KERNELS.values():
+        optimised = gpu.throughput_mcells(kernel, STRATEGY_OPTIMISED, CELLS)
+        paged = gpu.throughput_mcells(kernel, STRATEGY_HOST_REGISTER, CELLS)
+        assert optimised > paged
+
+
+def test_optimised_strategy_has_no_pcie_term(gpu):
+    assert STRATEGY_OPTIMISED.pcie_fraction_per_sweep == 0.0
+    assert STRATEGY_HOST_REGISTER.pcie_fraction_per_sweep == 2.0
+    # With no PCIe traffic the sweep time is kernel-bound: doubling the cell
+    # count at the roofline must not double sweep_time's non-kernel part.
+    small = gpu.sweep_time(GAUSS_SEIDEL_KERNEL, STRATEGY_OPTIMISED, CELLS)
+    large = gpu.sweep_time(GAUSS_SEIDEL_KERNEL, STRATEGY_OPTIMISED, 2 * CELLS)
+    assert large < 2 * small  # launch latency + overhead amortise
+
+
+def test_gpu_sweep_time_increases_with_cells(gpu):
+    for strategy in GPU_STRATEGIES.values():
+        times = [gpu.sweep_time(PW_ADVECTION_KERNEL, strategy, c)
+                 for c in (CELLS, 2 * CELLS, 4 * CELLS)]
+        assert times[0] < times[1] < times[2]
+
+
+# -- Distributed: rank scaling ----------------------------------------------
+
+
+def test_iteration_time_decreases_with_ranks_then_comm_dominates(dmp):
+    """Strong scaling: more ranks shrink the local domain until halo
+    exchange stops the party."""
+    cells = 1024.0 ** 3
+    t1 = dmp.iteration_time(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE, cells, 1)
+    t128 = dmp.iteration_time(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE, cells, 128)
+    assert t128 < t1
+    # Tiny problem, huge rank count: fixed halo-exchange latency caps the
+    # speedup far below ideal — 512x more ranks must not buy even 10x.
+    small = 32.0 ** 3
+    t_few = dmp.iteration_time(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE, small, 8)
+    t_many = dmp.iteration_time(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE,
+                                small, 4096)
+    assert t_many < t_few  # still monotone...
+    assert t_few / t_many < 10.0  # ...but nowhere near the ideal 512x
+
+
+def test_distributed_throughput_monotone_in_problem_size(dmp):
+    ranks = 64
+    small = dmp.throughput_mcells(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE,
+                                  128.0 ** 3, ranks)
+    large = dmp.throughput_mcells(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE,
+                                  512.0 ** 3, ranks)
+    assert large > small  # weak-scaling-style efficiency gain
+
+
+def test_comm_efficiency_scales_comm_term_only(dmp):
+    cells = 256.0 ** 3
+    honest = dmp.iteration_time(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE,
+                                cells, 256, comm_efficiency=1.0)
+    degraded = dmp.iteration_time(GAUSS_SEIDEL_KERNEL, STENCIL_PROFILE,
+                                  cells, 256, comm_efficiency=0.5)
+    assert degraded > honest
