@@ -46,6 +46,10 @@ _LAZY_EXPORTS = {
     "OpenMPOptions": "repro.api",
     "GpuOptions": "repro.api",
     "DmpOptions": "repro.api",
+    # Fault injection and recovery.
+    "FaultPlan": "repro.resilience",
+    "ResilienceOptions": "repro.resilience",
+    "RecoveryReport": "repro.resilience",
     # Legacy deprecation shim.
     "CompilerDriver": "repro.compiler",
     "CompilerOptions": "repro.compiler",

@@ -44,7 +44,8 @@ from ..runtime.distributed_executor import (
 )
 from ..runtime.interpreter import Interpreter
 from ..runtime.mpi_runtime import CartesianDecomposition, SimulatedCommunicator
-from .options import OptionError
+from ..resilience import ResilienceOptions
+from .options import OptionError, validate_timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from .program import CompiledProgram
@@ -110,12 +111,20 @@ class DistributedProgram:
                  entry: Optional[str] = None,
                  execution_mode: Optional[str] = None,
                  threads: Optional[int] = None,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0,
+                 resilience: Optional[ResilienceOptions] = None):
         if compiled.backend_name != "dmp":
             raise OptionError(
                 "distribute() requires the 'dmp' backend; this handle was "
                 f"lowered for '{compiled.backend_name}' — use "
                 "program.lower('dmp', grid=...)"
+            )
+        timeout = validate_timeout(timeout, compiled.backend_name)
+        if resilience is not None and not isinstance(resilience,
+                                                     ResilienceOptions):
+            raise OptionError(
+                "resilience must be a ResilienceOptions instance, got "
+                f"{type(resilience).__name__}"
             )
         self._compiled = compiled
         grid = compiled.options.grid
@@ -132,6 +141,7 @@ class DistributedProgram:
         self._entry = entry
         self._execution_mode = execution_mode
         self._threads = threads
+        self._resilience = resilience
         self._executor = DistributedExecutor(
             grid, halo=detect_halo(compiled), pool_size=pool_size,
             timeout=timeout,
@@ -174,19 +184,37 @@ class DistributedProgram:
             self._compiled, pool_size=pool_size,
             source_builder=self._source_builder, entry=self._entry,
             execution_mode=self._execution_mode, threads=self._threads,
-            timeout=self._executor.timeout,
+            timeout=self._executor.timeout, resilience=self._resilience,
+        )
+
+    def with_resilience(self, resilience: Optional[ResilienceOptions]
+                        ) -> "DistributedProgram":
+        """A plan with a different recovery policy (runtime-only: reuses
+        every cached artifact, exactly like ``with_pool_size``)."""
+        return DistributedProgram(
+            self._compiled,
+            source_builder=self._source_builder, entry=self._entry,
+            execution_mode=self._execution_mode, threads=self._threads,
+            timeout=self._executor.timeout, resilience=resilience,
         )
 
     # -- execution -----------------------------------------------------------
 
     def run(self, global_field: np.ndarray,
-            iterations: int = 1) -> DistributedRunResult:
+            iterations: int = 1,
+            resilience: Optional[ResilienceOptions] = None,
+            ) -> DistributedRunResult:
         """Scatter ``global_field``, run every rank, gather the result.
 
         The input is not mutated; the gathered global array is
         ``result.field``, and ``result.rank_stats`` carries the per-rank
-        message/byte counts and halo/kernel wall-times.
+        message/byte counts and halo/kernel wall-times.  ``resilience``
+        overrides the plan's recovery policy for this run; when one is
+        active the run executes on the checkpoint/restart path and
+        ``result.recovery`` carries the :class:`~repro.resilience.RecoveryReport`.
         """
+        if resilience is None:
+            resilience = self._resilience
         entry = self.entry
         handles: Dict[Tuple[int, ...], "CompiledProgram"] = {}
 
@@ -234,7 +262,8 @@ class DistributedProgram:
             )
 
         return self._executor.run(global_field, make_interpreter, entry,
-                                  iterations=iterations)
+                                  iterations=iterations,
+                                  resilience=resilience)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

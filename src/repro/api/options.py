@@ -50,6 +50,23 @@ def validate_execution_mode(value: Optional[str], default: str) -> str:
     return value
 
 
+def validate_timeout(value: float, backend: str) -> float:
+    """Reject a non-positive communicator timeout at the fluent layer, with
+    the backend named, instead of deep inside ``SimulatedCommunicator``
+    mid-run."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise OptionError(
+            f"timeout must be a positive number of seconds for the "
+            f"'{backend}' backend, got {value!r}"
+        )
+    if value <= 0:
+        raise OptionError(
+            f"timeout must be positive for the '{backend}' backend, got "
+            f"{value!r}"
+        )
+    return float(value)
+
+
 def validate_threads(value: Optional[int], default: int) -> int:
     """Resolve a thread-count override: ``None`` means "use the default";
     anything else — including 0 — must be a positive integer."""
@@ -197,6 +214,7 @@ __all__ = [
     "OptionError",
     "validate_execution_mode",
     "validate_threads",
+    "validate_timeout",
     "BackendOptions",
     "FlangOnlyOptions",
     "CpuOptions",

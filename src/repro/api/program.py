@@ -224,20 +224,28 @@ class CompiledProgram:
                    entry: Optional[str] = None,
                    execution_mode: Optional[str] = None,
                    threads: Optional[int] = None,
-                   timeout: float = 30.0):
+                   timeout: float = 30.0,
+                   resilience=None):
         """Derive a multi-rank execution plan (dmp backend only).
 
         The process grid comes from the compiled :class:`DmpOptions` (a
         compile-time cache-key field); ``ranks`` merely asserts the expected
-        rank count, and ``pool_size`` / ``execution_mode`` / ``threads`` are
-        runtime-only.  See :class:`repro.api.DistributedProgram`.
+        rank count, and ``pool_size`` / ``execution_mode`` / ``threads`` /
+        ``resilience`` are runtime-only.  Passing
+        ``resilience=ResilienceOptions(...)`` runs the plan on the
+        self-healing path (checkpoint/restart, retrying communicator) — like
+        ``threads`` it never enters the session cache key.  See
+        :class:`repro.api.DistributedProgram`.
         """
         from .distributed import DistributedProgram
+        from .options import validate_timeout
 
+        validate_timeout(timeout, self.backend_name)
         return DistributedProgram(
             self, ranks=ranks, pool_size=pool_size,
             source_builder=source_builder, entry=entry,
             execution_mode=execution_mode, threads=threads, timeout=timeout,
+            resilience=resilience,
         )
 
     # -- execution -----------------------------------------------------------

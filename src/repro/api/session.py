@@ -20,6 +20,7 @@ import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.context import Context, default_context
+from ..resilience import InjectedFault
 from ..runtime.parallel_executor import ParallelExecutor
 from .artifact import CompiledArtifact
 from .backends import Backend, BackendRegistry, registry as default_registry
@@ -48,6 +49,19 @@ class Session:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        #: Deterministic fault injection: called with the source fingerprint
+        #: before every backend compile; returning True simulates a transient
+        #: compiler crash (see :class:`repro.resilience.FaultInjector`).
+        self.compile_hook = None
+        #: How many times a failing compile is retried before its cache key
+        #: is quarantined (single retry by default).
+        self.compile_retries = 1
+        #: Poisoned-artifact records: cache key -> the exception that
+        #: exhausted its retries.  Further lowers of the key re-raise it
+        #: immediately instead of retry-storming the backend.
+        self._quarantined: Dict[Tuple, BaseException] = {}
+        self._compile_retry_count = 0
+        self._quarantine_hits = 0
         # Batch dispatch pools, one per worker count.  Deliberately *not* the
         # process-wide count-keyed pools of ``get_executor``: batch tasks
         # block on tile futures from their interpreters' pools, so sharing a
@@ -84,8 +98,32 @@ class Session:
             if cached is not None:
                 self._hits += 1
                 return cached
+            poisoned = self._quarantined.get(key)
+            if poisoned is not None:
+                # A quarantined key failed its compile *and* its retry: re-
+                # raise the original exception (same object, same type) so a
+                # bad source cannot retry-storm the backend.
+                self._quarantine_hits += 1
+                raise poisoned
             self._misses += 1
-        artifact = backend.lower(source, options, ctx=self._ctx)
+        attempt = 0
+        while True:
+            try:
+                if self.compile_hook is not None and self.compile_hook(key[0]):
+                    raise InjectedFault(
+                        f"injected transient compile failure for source "
+                        f"{key[0][:12]} on backend '{backend.name}'"
+                    )
+                artifact = backend.lower(source, options, ctx=self._ctx)
+                break
+            except BaseException as exc:
+                attempt += 1
+                if attempt > self.compile_retries:
+                    with self._lock:
+                        self._quarantined[key] = exc
+                    raise
+                with self._lock:
+                    self._compile_retry_count += 1
         with self._lock:
             # Two threads may race to compile the same key; the artifacts are
             # equivalent, keep the first and let the loser's result drop.
@@ -103,12 +141,41 @@ class Session:
                 "artifacts": len(self._cache),
             }
 
+    @property
+    def resilience_stats(self) -> Dict[str, int]:
+        """Compile-recovery counters: ``compile_retries`` (transient
+        failures recovered by retrying), ``compiles_quarantined`` (keys whose
+        retries were exhausted) and ``quarantine_hits`` (lowers short-
+        circuited by a poisoned record)."""
+        with self._lock:
+            return {
+                "compile_retries": self._compile_retry_count,
+                "compiles_quarantined": len(self._quarantined),
+                "quarantine_hits": self._quarantine_hits,
+            }
+
+    def quarantined_record(self, source, backend="cpu",
+                           options: Optional[BackendOptions] = None,
+                           **overrides) -> Optional[BaseException]:
+        """The poisoned-artifact record for a (source, backend, options)
+        triple, or None if the key is healthy."""
+        source = getattr(source, "source", source)
+        backend_obj = self.registry.get(backend)
+        opts = backend_obj.make_options(options, **overrides)
+        key = (source_fingerprint(source), backend_obj.name, opts.cache_key())
+        with self._lock:
+            return self._quarantined.get(key)
+
     def clear_cache(self) -> None:
-        """Drop every cached artifact and reset the counters."""
+        """Drop every cached artifact (and quarantine record) and reset the
+        counters."""
         with self._lock:
             self._cache.clear()
+            self._quarantined.clear()
             self._hits = 0
             self._misses = 0
+            self._compile_retry_count = 0
+            self._quarantine_hits = 0
 
     # -- batch execution -----------------------------------------------------
 

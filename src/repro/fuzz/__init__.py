@@ -14,11 +14,20 @@ The subsystem has four layers (ROADMAP open item 4):
 * :mod:`repro.fuzz.minimizer` — deterministic delta-debugging of any
   divergent spec while the divergence still reproduces;
 * :mod:`repro.fuzz.corpus` — the persisted ``fuzz/corpus/`` of minimized
-  regression kernels that tier-1 replays.
+  regression kernels that tier-1 replays;
+* :mod:`repro.fuzz.chaos` — chaos mode: each seed runs fault-free, then
+  again under a seeded :class:`repro.resilience.FaultPlan`, and the
+  recovered outputs must be bitwise identical.
 
-CLI: ``python -m repro.fuzz --seeds N [--time-budget S]``.
+CLI: ``python -m repro.fuzz --seeds N [--time-budget S] [--chaos]``.
 """
 
+from .chaos import (
+    ChaosCaseResult,
+    ChaosFarm,
+    ChaosReport,
+    ChaosRunner,
+)
 from .corpus import (
     CorpusEntry,
     DEFAULT_CORPUS_DIR,
@@ -50,6 +59,10 @@ from .runner import (
 __all__ = [
     "BackendConfig",
     "CaseResult",
+    "ChaosCaseResult",
+    "ChaosFarm",
+    "ChaosReport",
+    "ChaosRunner",
     "CorpusEntry",
     "DEFAULT_CONFIG",
     "DEFAULT_CORPUS_DIR",

@@ -14,9 +14,14 @@ Examples::
     # Replay every persisted corpus case through the full matrix:
     PYTHONPATH=src python -m repro.fuzz --replay-corpus
 
-Exit status is non-zero when any divergence is found (or a corpus replay
-regresses), so the command is CI-gateable as-is.  New divergences are
-delta-debugged and saved into the corpus automatically unless
+    # Chaos mode: every seed fault-free first, then under a seeded
+    # FaultPlan, demanding bitwise-identical recovered outputs:
+    PYTHONPATH=src python -m repro.fuzz --chaos --seeds 20
+
+Exit status is a contract CI pins: **0** when the run is clean, **1** when
+any divergence is found (or a corpus replay regresses, or a chaos fault
+goes unrecovered), **2** when the harness itself crashes.  New divergences
+are delta-debugged and saved into the corpus automatically unless
 ``--no-minimize`` is given.
 """
 
@@ -24,9 +29,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from pathlib import Path
 
-from ..harness import fuzz_summary_table
+from ..harness import fuzz_summary_table, recovery_report_table
+from .chaos import ChaosFarm
 from .corpus import DEFAULT_CORPUS_DIR, load_corpus, minimize_and_save, replay_entry
 from .generator import DEFAULT_CONFIG, generate_spec
 from .runner import DifferentialRunner, FuzzFarm
@@ -65,6 +72,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--replay-corpus", action="store_true",
                         help="replay every corpus entry through the full "
                              "matrix and exit")
+    parser.add_argument("--chaos", action="store_true",
+                        help="chaos mode: re-run each seed under a seeded "
+                             "fault plan (message faults, rank crashes, "
+                             "device OOM, compile failures) and demand "
+                             "bitwise-identical recovered outputs")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-case progress output")
     return parser
@@ -104,12 +116,35 @@ def _replay_corpus(args) -> int:
     return 0 if regressions == 0 else 1
 
 
+def _chaos(args) -> int:
+    farm = ChaosFarm(count=args.seeds, start=args.start_seed,
+                     time_budget=args.time_budget)
+
+    def on_case(result):
+        if args.quiet:
+            return
+        marker = "ok " if result.ok else "DIV"
+        print(f"  seed {result.spec.seed:>5} [{result.spec.style:>11}] "
+              f"{marker} ({result.scenarios_run} scenarios, "
+              f"{result.recovery.faults_injected} faults)")
+
+    report = farm.run(on_case=on_case)
+    print()
+    print(recovery_report_table(report))
+    for divergence in report.divergences:
+        print()
+        print(divergence.describe())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.replay_seed is not None:
         return _replay_seed(args)
     if args.replay_corpus:
         return _replay_corpus(args)
+    if args.chaos:
+        return _chaos(args)
 
     farm = FuzzFarm(count=args.seeds, start=args.start_seed,
                     backends=args.backends, time_budget=args.time_budget)
@@ -143,5 +178,20 @@ def main(argv=None) -> int:
     return 0 if report.ok else 1
 
 
+def run(argv=None) -> int:
+    """CLI entry with the pinned exit-code contract: 0 clean, 1 divergence
+    (or unrecovered chaos fault / corpus regression), 2 harness crash."""
+    try:
+        return main(argv)
+    except SystemExit as exc:  # argparse errors keep their own codes
+        code = exc.code
+        return code if isinstance(code, int) else 2
+    except KeyboardInterrupt:
+        raise
+    except BaseException:
+        traceback.print_exc()
+        return 2
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(run())

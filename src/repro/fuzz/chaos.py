@@ -1,0 +1,261 @@
+"""Chaos mode: generated kernels under seeded fault plans.
+
+PR 6's discipline was *inject a miscompile deterministically, demand the
+farm catches it*.  Chaos mode applies the same discipline to runtime
+faults: each fuzz seed first runs **fault-free** to establish a baseline,
+then re-runs under a :class:`repro.resilience.FaultPlan` drawn from the
+same seed, and the recovered outputs must be **bitwise identical** to the
+baseline.  Three scenarios per case, matched to the three injectable
+runtime layers:
+
+* ``dmp-chaos`` (distributed-style specs): a multi-rank resilient run with
+  dropped/delayed/duplicated/corrupted halo messages plus one rank crash
+  mid-run, recovered by the retrying communicator and checkpoint/restart;
+* ``gpu-chaos``: a gpu run whose :class:`SimulatedGPU` fails chosen device
+  allocations, recovered by the graceful-degradation ladder (evict idle →
+  host staging);
+* ``compile-chaos``: a throwaway session whose compile hook fails the first
+  compile transiently, recovered by the session's single retry.
+
+Every injected fault and recovery action lands in one merged
+:class:`repro.resilience.RecoveryReport`; a chaos run is clean only when
+there are **0 divergences and 0 unrecovered faults**.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+import numpy as np
+
+from ..api.session import Session
+from ..resilience import (
+    AllocFault,
+    CommFault,
+    CompileFault,
+    FaultInjector,
+    FaultPlan,
+    RankCrash,
+    RecoveryReport,
+    ReportSink,
+    ResilienceOptions,
+)
+from ..runtime.gpu_runtime import SimulatedGPU
+from .generator import DEFAULT_CONFIG, GeneratorConfig, KernelSpec, generate_spec
+from .runner import _DMP_ITERATIONS, DifferentialRunner, Divergence
+
+#: Process grid for the distributed chaos scenario (same as the farm's
+#: widest dmp cell).
+_CHAOS_GRID = (2, 2)
+
+
+@dataclass
+class ChaosCaseResult:
+    """One seed's chaos verdict: scenarios run, divergences, recoveries."""
+
+    spec: KernelSpec
+    scenarios_run: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+    recovery: RecoveryReport = field(default_factory=RecoveryReport)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and self.recovery.ok
+
+
+@dataclass
+class ChaosReport:
+    """Aggregated chaos results, rendered by
+    ``repro.harness.recovery_report_table``."""
+
+    cases: int = 0
+    scenarios_run: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+    recovery: RecoveryReport = field(default_factory=RecoveryReport)
+    seconds: float = 0.0
+    budget_exhausted: bool = False
+    seeds_skipped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and self.recovery.ok
+
+    def merge_case(self, result: ChaosCaseResult) -> None:
+        self.cases += 1
+        self.scenarios_run += result.scenarios_run
+        self.divergences.extend(result.divergences)
+        self.recovery.merge(result.recovery)
+
+
+class ChaosRunner:
+    """Runs one spec fault-free, then under a seeded plan, compares bitwise."""
+
+    def __init__(self, session: Optional[Session] = None):
+        self.runner = DifferentialRunner(session=session)
+
+    @property
+    def session(self) -> Session:
+        return self.runner.session
+
+    # -- scenarios -----------------------------------------------------------
+
+    def _dmp_plan(self, spec: KernelSpec):
+        """The fluent distributed plan the dmp scenario runs (compiled on the
+        shared session, so baseline and faulted runs share artifacts)."""
+        compiled = self.session.compile(spec.render()).lower(
+            "dmp", grid=_CHAOS_GRID, execution_mode="vectorize")
+        return compiled.distribute(
+            source_builder=lambda shape: spec.render(shape=shape),
+            entry=spec.entry,
+        )
+
+    def _run_dmp_chaos(self, spec: KernelSpec, result: ChaosCaseResult) -> None:
+        plan = self._dmp_plan(spec)
+        arrays, _ = self.runner.inputs_for(spec)
+        seed_field = arrays[spec.arrays[0]]
+        baseline = plan.run(seed_field, iterations=_DMP_ITERATIONS)
+        fault_plan = FaultPlan(
+            seed=spec.seed,
+            comm_faults=FaultPlan.generate(spec.seed, comm_faults=4).comm_faults,
+            rank_crashes=(RankCrash(rank=spec.seed % 4,
+                                    iteration=spec.seed % _DMP_ITERATIONS),),
+        )
+        faulted = plan.run(
+            seed_field, iterations=_DMP_ITERATIONS,
+            resilience=ResilienceOptions(plan=fault_plan))
+        result.recovery.merge(faulted.recovery)
+        result.scenarios_run += 1
+        self._compare(spec, "dmp-chaos", result,
+                      {spec.arrays[0]: baseline.field},
+                      {spec.arrays[0]: faulted.field})
+
+    def _run_gpu_chaos(self, spec: KernelSpec, result: ChaosCaseResult) -> None:
+        baseline, _ = self.runner._run_plain(spec, "gpu", "vectorize", 1, {})
+        sink = ReportSink(result.recovery)
+        injector = FaultInjector(
+            FaultPlan(seed=spec.seed,
+                      alloc_faults=(AllocFault(index=spec.seed % 2),)),
+            sink)
+        gpu = SimulatedGPU(num_streams=2,
+                           alloc_hook=injector.on_device_alloc)
+        compiled = self.session.compile(spec.render()).lower(
+            "gpu", execution_mode="vectorize")
+        arrays, scalar = self.runner.inputs_for(spec)
+        work = {name: arr.copy(order="F") for name, arr in arrays.items()}
+        interp = compiled.interpreter(gpu=gpu)
+        with np.errstate(over="ignore", invalid="ignore"):
+            interp.call(spec.entry,
+                        *self.runner._call_args(spec, work, scalar))
+        sink.add_counters(gpu.degradation)
+        sink.add_counters(
+            {"scalar_fallbacks": int(interp.stats.get("gpu_launch_fallbacks",
+                                                      0))})
+        result.scenarios_run += 1
+        self._compare(spec, "gpu-chaos", result, baseline, work)
+
+    def _run_compile_chaos(self, spec: KernelSpec,
+                           result: ChaosCaseResult) -> None:
+        baseline, _ = self.runner._run_plain(spec, "cpu", "vectorize", 1, {})
+        sink = ReportSink(result.recovery)
+        injector = FaultInjector(
+            FaultPlan(seed=spec.seed,
+                      compile_faults=(CompileFault(index=0, count=1),)),
+            sink)
+        # A throwaway session: its compiles must actually run (no warm cache)
+        # and its quarantine records must not leak into the shared session.
+        scratch = Session(registry=self.session.registry)
+        scratch.compile_hook = injector.on_compile
+        compiled = scratch.compile(spec.render()).lower(
+            "cpu", execution_mode="vectorize")
+        arrays, scalar = self.runner.inputs_for(spec)
+        work = {name: arr.copy(order="F") for name, arr in arrays.items()}
+        with np.errstate(over="ignore", invalid="ignore"):
+            compiled.interpreter().call(
+                spec.entry, *self.runner._call_args(spec, work, scalar))
+        sink.add_counters(scratch.resilience_stats)
+        result.scenarios_run += 1
+        self._compare(spec, "compile-chaos", result, baseline, work)
+
+    # -- comparison ----------------------------------------------------------
+
+    def _compare(self, spec: KernelSpec, label: str,
+                 result: ChaosCaseResult, expected, actual) -> None:
+        differing, max_diff = self.runner.compare(expected, actual)
+        if differing:
+            result.recovery.unrecovered += 1
+            result.divergences.append(Divergence(
+                seed=spec.seed, config_label=label, backend=label,
+                kind="bitwise",
+                detail="recovered outputs differ from the fault-free run",
+                spec=spec, arrays=differing, max_abs_diff=max_diff))
+
+    # -- the per-case driver -------------------------------------------------
+
+    def run_case(self, spec: KernelSpec) -> ChaosCaseResult:
+        result = ChaosCaseResult(spec=spec)
+        scenarios: List[Callable[[KernelSpec, ChaosCaseResult], None]] = [
+            self._run_gpu_chaos,
+            self._run_compile_chaos,
+        ]
+        if spec.style == "distributed":
+            scenarios.insert(0, self._run_dmp_chaos)
+        for scenario in scenarios:
+            try:
+                scenario(spec, result)
+            except Exception as err:  # noqa: BLE001 — an unhandled fault IS a finding
+                result.scenarios_run += 1
+                result.recovery.unrecovered += 1
+                result.divergences.append(Divergence(
+                    seed=spec.seed,
+                    config_label=scenario.__name__.replace("_run_", ""),
+                    backend="chaos", kind="error",
+                    detail=f"{type(err).__name__}: {err}", spec=spec))
+        return result
+
+
+class ChaosFarm:
+    """Drives N seeds through the chaos runner under a time budget."""
+
+    def __init__(self, seeds: Optional[Iterable[int]] = None, *,
+                 count: Optional[int] = None, start: int = 0,
+                 generator_config: GeneratorConfig = DEFAULT_CONFIG,
+                 session: Optional[Session] = None,
+                 time_budget: Optional[float] = None):
+        if seeds is None:
+            seeds = range(start, start + (count if count is not None else 10))
+        self.seeds = list(seeds)
+        self.generator_config = generator_config
+        self.time_budget = time_budget
+        self.runner = ChaosRunner(session=session)
+
+    @property
+    def session(self) -> Session:
+        return self.runner.session
+
+    def run(self, on_case: Optional[Callable[[ChaosCaseResult], None]] = None
+            ) -> ChaosReport:
+        report = ChaosReport()
+        started = time.perf_counter()
+        for position, seed in enumerate(self.seeds):
+            if (self.time_budget is not None
+                    and time.perf_counter() - started > self.time_budget):
+                report.budget_exhausted = True
+                report.seeds_skipped = len(self.seeds) - position
+                break
+            spec = generate_spec(seed, self.generator_config)
+            result = self.runner.run_case(spec)
+            report.merge_case(result)
+            if on_case is not None:
+                on_case(result)
+        report.seconds = time.perf_counter() - started
+        return report
+
+
+__all__ = [
+    "ChaosCaseResult",
+    "ChaosReport",
+    "ChaosRunner",
+    "ChaosFarm",
+]

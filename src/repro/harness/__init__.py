@@ -20,6 +20,7 @@ from .reporting import (
     format_table,
     fuzz_summary_table,
     kernel_stats_table,
+    recovery_report_table,
     run_all,
 )
 
@@ -41,5 +42,6 @@ __all__ = [
     "format_table",
     "fuzz_summary_table",
     "kernel_stats_table",
+    "recovery_report_table",
     "run_all",
 ]

@@ -100,6 +100,45 @@ def fuzz_summary_table(report) -> str:
     return format_table(result)
 
 
+def recovery_report_table(report) -> str:
+    """Render a chaos run's recovery accounting as an aligned text table.
+
+    Accepts a :class:`repro.fuzz.ChaosReport` (the farm's aggregate — cases,
+    scenarios and timing land in the notes) or a bare
+    :class:`repro.resilience.RecoveryReport` from a single resilient run.
+    One row per injected fault kind and per non-zero recovery mechanism, so
+    the table answers the chaos question at a glance: everything injected,
+    and everything the runtime did to survive it.
+    """
+    from .experiments import ExperimentResult
+
+    recovery = getattr(report, "recovery", report)
+    result = ExperimentResult(
+        experiment="chaos_recovery",
+        description="injected faults vs recovery mechanisms exercised",
+        columns=("counter", "count"),
+    )
+    for kind in sorted(recovery.injected):
+        result.add(f"injected[{kind}]", recovery.injected[kind])
+    for name in recovery._COUNTER_FIELDS:
+        value = getattr(recovery, name)
+        if value or name == "unrecovered":
+            result.add(name, value)
+    if not recovery.injected:
+        result.notes["empty"] = "no faults injected"
+    if report is not recovery:  # a ChaosReport aggregate
+        result.notes["cases"] = report.cases
+        result.notes["scenarios"] = report.scenarios_run
+        result.notes["divergences"] = len(report.divergences)
+        result.notes["seconds"] = f"{report.seconds:.2f}"
+        if report.budget_exhausted:
+            result.notes["time_budget"] = (
+                f"exhausted, {report.seeds_skipped} seeds skipped")
+    result.notes["verdict"] = (
+        "clean" if getattr(report, "ok", recovery.ok) else "NOT RECOVERED")
+    return format_table(result)
+
+
 def run_all(names: Iterable[str] = ()) -> str:
     """Run the requested experiments (all by default) and return their tables.
 
@@ -124,4 +163,4 @@ def run_all(names: Iterable[str] = ()) -> str:
 
 
 __all__ = ["format_table", "fuzz_summary_table", "kernel_stats_table",
-           "run_all"]
+           "recovery_report_table", "run_all"]

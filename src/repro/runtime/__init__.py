@@ -25,7 +25,12 @@ from .kernel_compiler import (
     structural_hash,
 )
 from .memory import ElementRef, MemoryBuffer, numpy_dtype_for
-from .mpi_runtime import CartesianDecomposition, MPIError, SimulatedCommunicator
+from .mpi_runtime import (
+    CartesianDecomposition,
+    MPIAbort,
+    MPIError,
+    SimulatedCommunicator,
+)
 from .parallel_executor import (
     SCHEDULE_KINDS,
     ParallelExecutor,
@@ -61,6 +66,7 @@ __all__ = [
     "SimulatedCommunicator",
     "CartesianDecomposition",
     "MPIError",
+    "MPIAbort",
     "DistributedExecutor",
     "DistributedRunResult",
     "RankStats",

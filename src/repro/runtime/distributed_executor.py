@@ -35,8 +35,20 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..resilience import (
+    FaultInjector,
+    InjectedFault,
+    RecoveryReport,
+    ReportSink,
+    ResilienceOptions,
+)
 from .interpreter import Interpreter
-from .mpi_runtime import CartesianDecomposition, MPIError, SimulatedCommunicator
+from .mpi_runtime import (
+    CartesianDecomposition,
+    MPIAbort,
+    MPIError,
+    SimulatedCommunicator,
+)
 from .parallel_executor import ParallelExecutor
 
 #: Interpreter factory signature: (rank, padded local shape, communicator,
@@ -77,6 +89,10 @@ class DistributedRunResult:
     bytes: int = 0
     #: Wall-clock of the whole scatter→ranks→gather run.
     seconds: float = 0.0
+    #: Checkpoint rollbacks performed (resilient runs only).
+    restarts: int = 0
+    #: Recovery accounting when the run executed resiliently.
+    recovery: Optional[RecoveryReport] = None
 
     def max_interior_error(self, reference: np.ndarray, margin: int = 1) -> float:
         """Max |field − reference| at least ``margin`` cells from the global
@@ -253,7 +269,9 @@ class DistributedExecutor:
 
     def run(self, global_field: np.ndarray,
             make_interpreter: InterpreterFactory, entry: str,
-            iterations: int = 1) -> DistributedRunResult:
+            iterations: int = 1,
+            resilience: Optional[ResilienceOptions] = None,
+            report_sink: Optional[ReportSink] = None) -> DistributedRunResult:
         """One distributed run: scatter, execute, exchange halos, gather.
 
         ``entry`` is called ``iterations`` times per rank on that rank's
@@ -261,9 +279,20 @@ class DistributedExecutor:
         (the DMP lowering inserts them before every stencil snapshot).  The
         input field is never mutated; the gathered result comes back on the
         :class:`DistributedRunResult`.
+
+        Passing ``resilience`` switches to the self-healing path: ranks run
+        in lockstep one iteration at a time, locals are checkpointed at
+        iteration boundaries, a crashed rank aborts the communicator and the
+        whole fleet rolls back to the last checkpoint with a fresh
+        communicator and fresh interpreters (bounded by ``max_restarts``).
+        The fault-free resilient result is bitwise identical to the default
+        path because halo messages never cross iteration boundaries.
         """
         if iterations < 1:
             raise MPIError(f"iterations must be >= 1, got {iterations}")
+        if resilience is not None:
+            return self._run_resilient(global_field, make_interpreter, entry,
+                                       iterations, resilience, report_sink)
         started = time.perf_counter()
         global_field = np.asfortranarray(global_field)
         decomposition = self.decomposition_for(global_field.shape)
@@ -311,6 +340,180 @@ class DistributedExecutor:
             messages=comm.message_count,
             bytes=comm.bytes_sent,
             seconds=seconds,
+        )
+
+    def _run_resilient(self, global_field: np.ndarray,
+                       make_interpreter: InterpreterFactory, entry: str,
+                       iterations: int,
+                       resilience: ResilienceOptions,
+                       report_sink: Optional[ReportSink] = None,
+                       ) -> DistributedRunResult:
+        """Lockstep execution with iteration-boundary checkpoint/restart.
+
+        Ranks are dispatched one iteration at a time (the executor is the
+        barrier), so a crash can only lose work since the last checkpoint.
+        Rank tasks catch their own outcome instead of raising — tasks mutate
+        ``locals_by_rank`` in place, so every task of the wave must finish
+        before a rollback may restore those arrays.  A crashed rank aborts
+        the communicator (waking every peer blocked in a receive), the dead
+        generation's communicator and interpreters are retired with their
+        statistics carried over, and a fresh generation restarts from the
+        checkpoint.  This is consistent because each iteration's halo
+        receives consume that same iteration's sends: nothing in flight ever
+        belongs to a future iteration, so discarding the communicator at a
+        boundary loses no live message.
+        """
+        started = time.perf_counter()
+        sink = report_sink if report_sink is not None else ReportSink()
+        injector = (FaultInjector(resilience.plan, sink)
+                    if resilience.plan is not None
+                    and not resilience.plan.empty else None)
+        global_field = np.asfortranarray(global_field)
+        decomposition = self.decomposition_for(global_field.shape)
+        locals_by_rank = self.scatter(global_field, decomposition)
+        ranks = list(range(self.num_ranks))
+
+        carried = {r: {"messages": 0, "bytes": 0, "halo_seconds": 0.0,
+                       "kernel_seconds": 0.0, "total_seconds": 0.0}
+                   for r in ranks}
+        total_messages = 0
+        total_bytes = 0
+        restarts = 0
+
+        def kernel_seconds_of(interp: Interpreter) -> float:
+            if interp.kernels is None:
+                return 0.0
+            per_kernel = interp.kernels.stats.get("per_kernel", {})
+            return sum(s["seconds"] for s in per_kernel.values())
+
+        def new_generation():
+            comm = SimulatedCommunicator(
+                self.num_ranks, timeout=self.timeout,
+                fault_hook=injector.on_send if injector is not None else None,
+                resilient=True,
+                max_receive_retries=resilience.max_receive_retries,
+                backoff_initial=resilience.backoff_initial,
+                backoff_cap=resilience.backoff_cap,
+            )
+            interps = {
+                r: make_interpreter(r, locals_by_rank[r].shape, comm,
+                                    decomposition)
+                for r in ranks
+            }
+            return comm, interps
+
+        def retire_generation(comm, interps):
+            # Fold the generation's communication accounting into the run
+            # totals so respawns never lose measured traffic.
+            nonlocal total_messages, total_bytes
+            total_messages += comm.message_count
+            total_bytes += int(comm.bytes_sent)
+            sink.add_counters(comm.stats)
+            for r in ranks:
+                interp = interps[r]
+                carried[r]["messages"] += int(interp.stats["mpi_messages"])
+                carried[r]["bytes"] += int(interp.stats["mpi_bytes"])
+                carried[r]["halo_seconds"] += float(
+                    interp.stats["halo_seconds"])
+                carried[r]["kernel_seconds"] += kernel_seconds_of(interp)
+
+        comm, interps = new_generation()
+        checkpoint_iteration = 0
+        checkpoint = {r: locals_by_rank[r].copy(order="F") for r in ranks}
+        sink.bump("checkpoint_saves")
+
+        iteration = 0
+        pool = get_rank_pool(self.pool_workers)
+        with _rank_pool_gate(self.pool_workers):
+            while iteration < iterations:
+                if (iteration != checkpoint_iteration
+                        and iteration % resilience.checkpoint_interval == 0):
+                    checkpoint_iteration = iteration
+                    checkpoint = {r: locals_by_rank[r].copy(order="F")
+                                  for r in ranks}
+                    sink.bump("checkpoint_saves")
+                outcomes: Dict[int, Optional[BaseException]] = {}
+
+                def run_iteration_rank(rank, _iteration=iteration,
+                                       _comm=comm, _interps=interps,
+                                       _outcomes=outcomes):
+                    rank_started = time.perf_counter()
+                    try:
+                        if (injector is not None
+                                and injector.should_crash(rank, _iteration)):
+                            _comm.abort(f"rank {rank} crashed at iteration "
+                                        f"{_iteration}")
+                            raise InjectedFault(
+                                f"rank {rank} crashed at iteration "
+                                f"{_iteration}")
+                        _interps[rank].call(entry, locals_by_rank[rank])
+                        _outcomes[rank] = None
+                    except BaseException as exc:  # noqa: BLE001 — triaged by the dispatcher
+                        _outcomes[rank] = exc
+                    finally:
+                        carried[rank]["total_seconds"] += (
+                            time.perf_counter() - rank_started)
+
+                pool.run_tiles(run_iteration_rank, ranks)
+                failures = {r: e for r, e in outcomes.items()
+                            if e is not None}
+                if not failures:
+                    iteration += 1
+                    continue
+                hard = [e for e in failures.values()
+                        if not isinstance(e, (MPIAbort, InjectedFault))]
+                if hard:
+                    sink.bump("unrecovered")
+                    retire_generation(comm, interps)
+                    raise hard[0]
+                sink.bump("crashes_detected",
+                          sum(1 for e in failures.values()
+                              if isinstance(e, InjectedFault)))
+                if restarts >= resilience.max_restarts:
+                    sink.bump("unrecovered")
+                    retire_generation(comm, interps)
+                    raise MPIError(
+                        f"distributed run gave up after {restarts} restarts "
+                        f"(max_restarts={resilience.max_restarts}); last "
+                        f"crash: {next(iter(failures.values()))}")
+                restarts += 1
+                retire_generation(comm, interps)
+                for r in ranks:
+                    np.copyto(locals_by_rank[r], checkpoint[r])
+                iteration = checkpoint_iteration
+                comm, interps = new_generation()
+                sink.bump("checkpoint_restores")
+                sink.bump("rank_respawns", self.num_ranks)
+                sink.record_event(
+                    f"rolled back to iteration {checkpoint_iteration} "
+                    f"(restart {restarts})")
+        retire_generation(comm, interps)
+        gathered = self.gather(locals_by_rank, decomposition)
+        seconds = time.perf_counter() - started
+        rank_stats = [
+            RankStats(
+                rank=r,
+                bounds=tuple(decomposition.local_bounds(r)),
+                local_shape=tuple(locals_by_rank[r].shape),
+                messages=carried[r]["messages"],
+                bytes=carried[r]["bytes"],
+                halo_seconds=carried[r]["halo_seconds"],
+                kernel_seconds=carried[r]["kernel_seconds"],
+                total_seconds=carried[r]["total_seconds"],
+            )
+            for r in ranks
+        ]
+        return DistributedRunResult(
+            field=gathered,
+            grid=self.grid,
+            ranks=self.num_ranks,
+            iterations=iterations,
+            rank_stats=rank_stats,
+            messages=total_messages,
+            bytes=total_bytes,
+            seconds=seconds,
+            restarts=restarts,
+            recovery=sink.report,
         )
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -22,7 +22,7 @@ behind compute.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -162,6 +162,7 @@ class SimulatedGPU:
         peak_flops: float = 7.0e12,        # FP64
         kernel_launch_latency: float = 8e-6,
         num_streams: int = 1,
+        alloc_hook: Optional[Callable[[str], bool]] = None,
     ):
         self.name = name
         self.memory_bytes = memory_bytes
@@ -170,6 +171,21 @@ class SimulatedGPU:
         self.peak_flops = peak_flops
         self.kernel_launch_latency = kernel_launch_latency
         self.num_streams = max(1, int(num_streams))
+        #: Deterministic fault injection: called with the allocation label
+        #: before every device allocation; returning True simulates an OOM
+        #: (see :class:`repro.resilience.FaultInjector.on_device_alloc`).
+        self.alloc_hook = alloc_hook
+        #: Live device buffers flagged reusable: the first eviction rung of
+        #: :meth:`alloc_degraded` reclaims them under memory pressure.
+        self._idle: List[MemoryBuffer] = []
+        #: Graceful-degradation ladder counters (each rung of
+        #: :meth:`alloc_degraded`), folded into a RecoveryReport by chaos
+        #: runs.
+        self.degradation: Dict[str, int] = {
+            "oom_detected": 0,
+            "oom_evictions": 0,
+            "oom_host_staged": 0,
+        }
 
         self.pool = DeviceMemoryPool(memory_bytes)
         self.allocations: List[MemoryBuffer] = []
@@ -224,14 +240,80 @@ class SimulatedGPU:
 
     def alloc(self, shape: Sequence[int], element_type: TypeAttribute,
               label: str = "") -> MemoryBuffer:
+        """Strict device allocation: a capacity miss (or an injected
+        allocation failure) raises :class:`MemoryError` — the fail-fast
+        baseline.  Callers wanting the recovery ladder use
+        :meth:`alloc_degraded`."""
+        if self.alloc_hook is not None and self.alloc_hook(label):
+            raise MemoryError(
+                f"injected device allocation failure for "
+                f"'{label or '<unnamed>'}' on {self.name}"
+            )
         buffer = MemoryBuffer.for_array(shape, element_type, space="device", label=label)
         self.pool.allocate(buffer)
         self.allocations.append(buffer)
         return buffer
 
+    def alloc_degraded(self, shape: Sequence[int], element_type: TypeAttribute,
+                       label: str = "") -> MemoryBuffer:
+        """Device allocation with the graceful-degradation ladder.
+
+        Rung 0 is a plain :meth:`alloc`.  On OOM (real or injected): rung 1
+        evicts idle pool buffers and retries on device; rung 2 stages the
+        buffer in registered host memory instead — the kernel still runs
+        (host-space arguments drag their data across PCIe on demand at every
+        launch, visible in the transfer stats), and because host staging
+        zero-fills exactly like a device allocation the computed results
+        stay bitwise identical.  Every rung taken is counted in
+        ``self.degradation``.
+        """
+        try:
+            return self.alloc(shape, element_type, label=label)
+        except MemoryError:
+            self.degradation["oom_detected"] += 1
+        if self.evict_idle() > 0:
+            try:
+                return self.alloc(shape, element_type, label=label)
+            except MemoryError:
+                self.degradation["oom_detected"] += 1
+        staged = MemoryBuffer.for_array(shape, element_type, space="host",
+                                        label=label or "oom_staged")
+        self.host_register(staged)
+        self.degradation["oom_host_staged"] += 1
+        return staged
+
+    def mark_idle(self, buffer: MemoryBuffer) -> None:
+        """Flag a live device buffer as reusable: it stays allocated (and
+        keeps its contents) but may be evicted by :meth:`alloc_degraded`
+        under memory pressure."""
+        if buffer not in self._idle:
+            self._idle.append(buffer)
+
+    def mark_busy(self, buffer: MemoryBuffer) -> None:
+        """Withdraw a buffer from the eviction candidates."""
+        if buffer in self._idle:
+            self._idle.remove(buffer)
+
+    def evict_idle(self) -> int:
+        """Free every idle device buffer; returns the bytes reclaimed."""
+        reclaimed = 0
+        evicted, self._idle = self._idle, []
+        for buffer in evicted:
+            freed = self.dealloc(buffer)
+            reclaimed += freed
+            if freed:
+                self.degradation["oom_evictions"] += 1
+        return reclaimed
+
     def dealloc(self, buffer: MemoryBuffer) -> int:
         """Free a device buffer, returning its bytes to the accounting pool;
-        returns the number of bytes reclaimed."""
+        returns the number of bytes reclaimed.  Host-staged buffers from the
+        degradation ladder are unregistered instead (they never held pool
+        bytes)."""
+        if buffer.registered and buffer.space == "host":
+            self.host_unregister(buffer)
+        if buffer in self._idle:
+            self._idle.remove(buffer)
         reclaimed = self.pool.release(buffer)
         if buffer in self.allocations:
             self.allocations.remove(buffer)
@@ -360,6 +442,7 @@ class SimulatedGPU:
             "streams": len(self.streams),
             "modelled_span_seconds": self.synchronize(),
             "modelled_overlap_seconds": self.modelled_overlap_seconds(),
+            "degradation": dict(self.degradation),
         }
 
 

@@ -649,8 +649,10 @@ class Interpreter:
         # the accounted device pool and is released when the function
         # returns (the lowering emits no dealloc for it).
         if self._enclosing_func_attr(op, "gpu.launch") is not None:
-            buffer = self._require_gpu().alloc(shape, mtype.element_type,
-                                               label="gpu_scratch")
+            # Degraded allocation: a device OOM walks the recovery ladder
+            # (evict idle → host staging) instead of killing the launch.
+            buffer = self._require_gpu().alloc_degraded(
+                shape, mtype.element_type, label="gpu_scratch")
             if self._device_scratch_stack:
                 self._device_scratch_stack[-1].append(buffer)
             return [buffer]
@@ -1068,7 +1070,7 @@ class Interpreter:
         dynamic = [int(_as_python(frame.get(o))) for o in op.operands]
         it = iter(dynamic)
         shape = [next(it) if s < 0 else s for s in shape]
-        return [gpu.alloc(shape, mtype.element_type)]
+        return [gpu.alloc_degraded(shape, mtype.element_type)]
 
     def _exec_gpu_dealloc(self, op: Operation, frame: Frame):
         buffer = frame.get(op.operands[0])

@@ -5,12 +5,25 @@ a communicator whose ranks live in the same Python process (optionally on
 separate threads): sends copy data into a mailbox, receives block until a
 matching message is available, and every message is accounted (count + bytes)
 so the distributed-memory cost model can be driven by observed communication.
+
+The communicator can also run *resiliently*: every message carries a
+per-channel sequence number and a crc32 checksum, the sender keeps a pristine
+copy of in-flight messages in an outbox, and a receive that times out a
+backoff slice NACKs the channel — releasing artificially delayed messages and
+retransmitting the missing sequence number from the outbox.  Duplicates are
+deduplicated by sequence number and corrupted payloads are detected by
+checksum and retransmitted.  Faults are injected deterministically through a
+``fault_hook`` (see :class:`repro.resilience.FaultInjector`); with no hook
+and ``resilient=False`` the legacy fail-fast behaviour is bit-for-bit
+unchanged.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+import time
+import zlib
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,12 +33,27 @@ class MPIError(Exception):
     """Raised on invalid communicator usage (bad rank, missing message, ...)."""
 
 
+class MPIAbort(MPIError):
+    """The communicator was aborted (a peer rank crashed); receivers blocked
+    on the dead rank raise this immediately instead of waiting out their
+    timeout."""
+
+
 @dataclass
 class Message:
     source: int
     dest: int
     tag: int
     payload: np.ndarray
+
+
+@dataclass
+class _Envelope:
+    """A message in flight: payload plus the metadata recovery needs."""
+
+    seq: int
+    payload: np.ndarray
+    checksum: int
 
 
 @dataclass
@@ -38,10 +66,30 @@ class PendingReceive:
     done: bool = False
 
 
+def _checksum(data: np.ndarray) -> int:
+    return zlib.crc32(data.tobytes())
+
+
+def _corrupted_copy(data: np.ndarray) -> np.ndarray:
+    """A copy with one byte flipped (crc32 always catches a single-byte
+    error, so the receiver is guaranteed to detect it)."""
+    raw = bytearray(data.tobytes())
+    if not raw:
+        return np.array(data, copy=True)
+    raw[0] ^= 0xFF
+    return np.frombuffer(bytes(raw), dtype=data.dtype).reshape(data.shape)
+
+
 class SimulatedCommunicator:
     """An MPI_COMM_WORLD equivalent for in-process ranks."""
 
-    def __init__(self, size: int, timeout: float = 30.0):
+    def __init__(self, size: int, timeout: float = 30.0, *,
+                 fault_hook: Optional[Callable[[int, int, int],
+                                               Optional[str]]] = None,
+                 resilient: bool = False,
+                 max_receive_retries: int = 8,
+                 backoff_initial: float = 0.005,
+                 backoff_cap: float = 0.05):
         if size < 1:
             raise MPIError("communicator size must be >= 1")
         if timeout <= 0:
@@ -51,12 +99,57 @@ class SimulatedCommunicator:
         #: provoke deadlocks shrink this so a missing send surfaces its
         #: diagnostic in milliseconds instead of stalling CI for 30 s.
         self.timeout = timeout
-        self._mailboxes: Dict[Tuple[int, int, int], List[np.ndarray]] = {}
+        self._fault_hook = fault_hook
+        self._resilient = resilient or fault_hook is not None
+        self._max_receive_retries = max_receive_retries
+        self._backoff_initial = backoff_initial
+        self._backoff_cap = backoff_cap
+        self._mailboxes: Dict[Tuple[int, int, int], List[_Envelope]] = {}
+        #: Messages a "delay" fault is holding back, released on NACK.
+        self._delayed: Dict[Tuple[int, int, int], List[_Envelope]] = {}
+        #: Pristine copies of in-flight sends, keyed by (channel, seq), kept
+        #: until the receiver acknowledges the sequence number by consuming
+        #: it — the source for NACK-driven retransmission.
+        self._outbox: Dict[Tuple[Tuple[int, int, int], int], np.ndarray] = {}
+        self._next_send_seq: Dict[Tuple[int, int, int], int] = {}
+        self._next_recv_seq: Dict[Tuple[int, int, int], int] = {}
         self._lock = threading.Condition()
         self.message_count = 0
         self.bytes_sent = 0
         self._barrier_count = 0
         self._barrier_generation = 0
+        self._barrier_ranks: List[int] = []
+        self._aborted: Optional[str] = None
+        #: Recovery-mechanism counters, folded into a RecoveryReport by the
+        #: resilient executor / chaos runner.
+        self.stats: Dict[str, int] = {
+            "receive_retries": 0,
+            "retransmissions": 0,
+            "duplicates_dropped": 0,
+            "corruptions_detected": 0,
+            "delays_released": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Abort signalling
+    # ------------------------------------------------------------------
+
+    @property
+    def aborted(self) -> Optional[str]:
+        return self._aborted
+
+    def abort(self, reason: str) -> None:
+        """Fail-fast broadcast: wake every blocked receive/barrier so the
+        whole fleet unwinds immediately instead of timing out one rank at a
+        time (the executor then rolls back to the last checkpoint)."""
+        with self._lock:
+            if self._aborted is None:
+                self._aborted = reason
+            self._lock.notify_all()
+
+    def _raise_if_aborted_locked(self) -> None:
+        if self._aborted is not None:
+            raise MPIAbort(f"communicator aborted: {self._aborted}")
 
     # ------------------------------------------------------------------
     # Point to point
@@ -66,11 +159,34 @@ class SimulatedCommunicator:
         self._check_rank(source)
         self._check_rank(dest)
         data = np.array(payload, copy=True)
+        fault = self._fault_hook(source, dest, tag) if self._fault_hook else None
         with self._lock:
+            self._raise_if_aborted_locked()
             key = (source, dest, tag)
-            self._mailboxes.setdefault(key, []).append(data)
+            seq = self._next_send_seq.get(key, 0)
+            self._next_send_seq[key] = seq + 1
+            checksum = _checksum(data)
+            if self._resilient:
+                self._outbox[(key, seq)] = data
+            # Logical sends are accounted once; retransmissions and
+            # duplicates are recovery traffic tracked in self.stats so the
+            # observed communication volume matches the fault-free run.
             self.message_count += 1
             self.bytes_sent += int(data.nbytes)
+            envelope = _Envelope(seq, data, checksum)
+            queue = self._mailboxes.setdefault(key, [])
+            if fault == "drop":
+                pass  # the outbox copy survives for NACK retransmission
+            elif fault == "delay":
+                self._delayed.setdefault(key, []).append(envelope)
+            elif fault == "duplicate":
+                queue.append(envelope)
+                queue.append(_Envelope(seq, np.array(data, copy=True),
+                                       checksum))
+            elif fault == "corrupt":
+                queue.append(_Envelope(seq, _corrupted_copy(data), checksum))
+            else:
+                queue.append(envelope)
             self._lock.notify_all()
 
     def receive(self, source: int, dest: int, tag: int,
@@ -80,32 +196,144 @@ class SimulatedCommunicator:
         if timeout is None:
             timeout = self.timeout
         key = (source, dest, tag)
+        if self._resilient:
+            return self._receive_resilient(key, timeout)
         with self._lock:
             deadline_ok = self._lock.wait_for(
-                lambda: self._mailboxes.get(key), timeout=timeout
+                lambda: self._mailboxes.get(key) or self._aborted is not None,
+                timeout=timeout,
             )
+            self._raise_if_aborted_locked()
             if not deadline_ok:
-                # A deadlocked multi-rank run is diagnosable only if the
-                # error says what *was* in flight: snapshot every non-empty
-                # mailbox so the missing/mis-tagged send stands out.
-                pending = {
-                    f"src={s} dest={d} tag={t}": len(queue)
-                    for (s, d, t), queue in sorted(self._mailboxes.items())
-                    if queue
-                }
-                raise MPIError(
-                    f"receive timed out after {timeout:g}s: rank {dest} "
-                    f"waiting for message from rank {source} with tag {tag}; "
-                    f"pending messages: {pending if pending else 'none'}"
+                raise MPIError(self._receive_timeout_message_locked(
+                    key, timeout))
+            return self._mailboxes[key].pop(0).payload
+
+    def _receive_resilient(self, key: Tuple[int, int, int],
+                           timeout: float) -> np.ndarray:
+        """Receive with dedup, checksum verification, and NACK recovery.
+
+        The loop scans the mailbox for the expected sequence number: stale
+        duplicates are dropped, a checksum mismatch discards the payload and
+        retransmits from the outbox, and a missing message waits one backoff
+        slice before NACKing the channel (release delayed + retransmit).
+        Backoff doubles up to a cap; the overall ``timeout`` still bounds the
+        whole receive.
+        """
+        deadline = time.monotonic() + timeout
+        backoff = self._backoff_initial
+        retries = 0
+        with self._lock:
+            expected = self._next_recv_seq.get(key, 0)
+            while True:
+                self._raise_if_aborted_locked()
+                queue = self._mailboxes.get(key, [])
+                kept: List[_Envelope] = []
+                found: Optional[_Envelope] = None
+                for env in queue:
+                    if env.seq < expected:
+                        self.stats["duplicates_dropped"] += 1
+                    elif env.seq == expected and found is None:
+                        found = env
+                    else:
+                        kept.append(env)
+                queue[:] = kept
+                if found is not None:
+                    if _checksum(found.payload) != found.checksum:
+                        self.stats["corruptions_detected"] += 1
+                        self._retransmit_locked(key, expected)
+                        continue  # rescan: the pristine copy is queued now
+                    self._next_recv_seq[key] = expected + 1
+                    self._ack_locked(key, expected)
+                    return found.payload
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise MPIError(self._receive_timeout_message_locked(
+                        key, timeout))
+                # Wake only on the *expected* seq: a later-seq arrival (its
+                # predecessor dropped or delayed) must not satisfy the wait,
+                # or the NACK that recovers the gap would never fire.
+                got = self._lock.wait_for(
+                    lambda: self._aborted is not None
+                    or any(e.seq == expected
+                           for e in self._mailboxes.get(key, ())),
+                    timeout=min(backoff, remaining),
                 )
-            return self._mailboxes[key].pop(0)
+                if not got and retries < self._max_receive_retries:
+                    # The cap bounds *recovery* rounds, not honest waiting:
+                    # once NACKs are exhausted we keep waiting quietly until
+                    # the overall timeout, so a slow-but-healthy sender is
+                    # never declared dead by the backoff schedule alone.
+                    retries += 1
+                    self.stats["receive_retries"] += 1
+                    self._nack_locked(key, expected)
+                    backoff = min(backoff * 2, self._backoff_cap)
+
+    def _ack_locked(self, key: Tuple[int, int, int], seq: int) -> None:
+        """Consuming ``seq`` acknowledges it: drop outbox copies up to it."""
+        for outbox_key in [k for k in self._outbox
+                           if k[0] == key and k[1] <= seq]:
+            del self._outbox[outbox_key]
+
+    def _nack_locked(self, key: Tuple[int, int, int], seq: int) -> None:
+        """The receiver gave up a backoff slice waiting for ``seq``: release
+        any artificially delayed messages and, if the expected message is
+        still absent, retransmit it from the sender's outbox."""
+        held = self._delayed.pop(key, None)
+        if held:
+            self._mailboxes.setdefault(key, []).extend(held)
+            self.stats["delays_released"] += len(held)
+        if not any(e.seq == seq for e in self._mailboxes.get(key, ())):
+            self._retransmit_locked(key, seq)
+
+    def _retransmit_locked(self, key: Tuple[int, int, int], seq: int) -> None:
+        pristine = self._outbox.get((key, seq))
+        if pristine is not None:
+            self._mailboxes.setdefault(key, []).append(
+                _Envelope(seq, np.array(pristine, copy=True),
+                          _checksum(pristine)))
+            self.stats["retransmissions"] += 1
+
+    def _receive_timeout_message_locked(self, key: Tuple[int, int, int],
+                                        timeout: float) -> str:
+        # A deadlocked multi-rank run is diagnosable only if the error says
+        # what *was* in flight: snapshot every non-empty mailbox so the
+        # missing/mis-tagged send stands out.
+        source, dest, tag = key
+        pending = self._pending_snapshot_locked()
+        return (
+            f"receive timed out after {timeout:g}s: rank {dest} "
+            f"waiting for message from rank {source} with tag {tag}; "
+            f"pending messages: {pending if pending else 'none'}"
+        )
+
+    def _pending_snapshot_locked(self) -> Dict[str, int]:
+        return {
+            f"src={s} dest={d} tag={t}": len(queue)
+            for (s, d, t), queue in sorted(self._mailboxes.items())
+            if queue
+        }
 
     def try_receive(self, source: int, dest: int, tag: int) -> Optional[np.ndarray]:
         key = (source, dest, tag)
         with self._lock:
             queue = self._mailboxes.get(key)
-            if queue:
-                return queue.pop(0)
+            if not self._resilient:
+                if queue:
+                    return queue.pop(0).payload
+                return None
+            expected = self._next_recv_seq.get(key, 0)
+            while queue and queue[0].seq < expected:
+                queue.pop(0)
+                self.stats["duplicates_dropped"] += 1
+            if queue and queue[0].seq == expected:
+                env = queue.pop(0)
+                if _checksum(env.payload) == env.checksum:
+                    self._next_recv_seq[key] = expected + 1
+                    self._ack_locked(key, expected)
+                    return env.payload
+                self.stats["corruptions_detected"] += 1
+                self._retransmit_locked(key, expected)
         return None
 
     # ------------------------------------------------------------------
@@ -114,24 +342,35 @@ class SimulatedCommunicator:
 
     def barrier(self, rank: int) -> None:
         with self._lock:
+            self._raise_if_aborted_locked()
             generation = self._barrier_generation
             self._barrier_count += 1
+            self._barrier_ranks.append(rank)
             if self._barrier_count == self.size:
                 self._barrier_count = 0
                 self._barrier_generation += 1
+                self._barrier_ranks = []
                 self._lock.notify_all()
             else:
                 arrived = self._lock.wait_for(
-                    lambda: self._barrier_generation != generation,
+                    lambda: self._barrier_generation != generation
+                    or self._aborted is not None,
                     timeout=self.timeout,
                 )
+                self._raise_if_aborted_locked()
                 if not arrived:
                     waiting = self._barrier_count
+                    arrived_ranks = sorted(self._barrier_ranks)
+                    missing = sorted(set(range(self.size))
+                                     - set(arrived_ranks))
+                    pending = self._pending_snapshot_locked()
                     raise MPIError(
                         f"barrier timed out after {self.timeout:g}s: rank "
                         f"{rank} waiting with {waiting} of {self.size} ranks "
-                        "arrived — a rank deadlocked or never reached the "
-                        "barrier"
+                        f"arrived (arrived: {arrived_ranks}; missing: "
+                        f"{missing}); pending messages: "
+                        f"{pending if pending else 'none'} — a rank "
+                        "deadlocked or never reached the barrier"
                     )
 
     def allreduce(self, rank: int, value: float, op: str = "sum",
@@ -230,4 +469,5 @@ __all__ = [
     "CartesianDecomposition",
     "Message",
     "MPIError",
+    "MPIAbort",
 ]

@@ -1,0 +1,175 @@
+"""Checkpoint/restart: rank crashes recovered at iteration boundaries.
+
+The acceptance bar for the whole resilience subsystem: a distributed
+Gauss-Seidel run under a serialized FaultPlan — message faults plus a
+mid-run rank crash — produces output **bitwise identical** to the
+fault-free run, with the recovery visible in the RecoveryReport.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import OptionError, Session
+from repro.apps import gauss_seidel
+from repro.resilience import (
+    CommFault,
+    FaultPlan,
+    RankCrash,
+    ResilienceError,
+    ResilienceOptions,
+)
+from repro.runtime import MPIError
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+def plan_for(session, grid, n, timeout=10.0):
+    program = session.compile(
+        gauss_seidel.generate_source_shaped((n + 2,) * 3, niters=1))
+    compiled = program.lower("dmp", grid=grid, execution_mode="vectorize")
+    return compiled.distribute(
+        source_builder=gauss_seidel.generate_source_shaped, timeout=timeout)
+
+
+def global_field(n, seed=5):
+    rng = np.random.default_rng(seed)
+    return np.asfortranarray(rng.random((n, n, n)))
+
+
+class TestCrashRecovery:
+    def test_rank_crash_recovers_bitwise(self, session):
+        field = global_field(12)
+        plan = plan_for(session, (2, 1), 12)
+        baseline = plan.run(field, iterations=3)
+        crashed = plan.run(field, iterations=3, resilience=ResilienceOptions(
+            plan=FaultPlan(rank_crashes=(RankCrash(rank=1, iteration=1),))))
+        np.testing.assert_array_equal(crashed.field, baseline.field)
+        assert crashed.restarts == 1
+        assert crashed.recovery.crashes_detected == 1
+        assert crashed.recovery.checkpoint_restores == 1
+        assert crashed.recovery.rank_respawns == 2
+        assert crashed.recovery.ok
+
+    def test_fault_free_resilient_run_matches_legacy_bitwise(self, session):
+        field = global_field(12)
+        plan = plan_for(session, (2, 2), 12)
+        legacy = plan.run(field, iterations=2)
+        resilient = plan.run(field, iterations=2,
+                             resilience=ResilienceOptions())
+        np.testing.assert_array_equal(resilient.field, legacy.field)
+        assert resilient.restarts == 0
+        assert resilient.recovery.checkpoint_saves >= 1
+        assert resilient.recovery.faults_injected == 0
+
+    def test_crash_at_iteration_zero_recovers(self, session):
+        field = global_field(12)
+        plan = plan_for(session, (2, 1), 12)
+        baseline = plan.run(field, iterations=2)
+        crashed = plan.run(field, iterations=2, resilience=ResilienceOptions(
+            plan=FaultPlan(rank_crashes=(RankCrash(rank=0, iteration=0),))))
+        np.testing.assert_array_equal(crashed.field, baseline.field)
+        assert crashed.restarts == 1
+
+    def test_repeated_crashes_exhaust_restart_budget(self, session):
+        field = global_field(12)
+        plan = plan_for(session, (2, 1), 12)
+        crashes = tuple(RankCrash(rank=0, iteration=0) for _ in range(3))
+        with pytest.raises(MPIError, match="gave up after 2 restarts"):
+            plan.run(field, iterations=2, resilience=ResilienceOptions(
+                max_restarts=2, plan=FaultPlan(rank_crashes=crashes)))
+
+    def test_with_resilience_fluent_derivation(self, session):
+        field = global_field(12)
+        base = plan_for(session, (2, 1), 12)
+        resilient = base.with_resilience(ResilienceOptions(
+            plan=FaultPlan(rank_crashes=(RankCrash(rank=1, iteration=0),))))
+        baseline = base.run(field, iterations=2)
+        recovered = resilient.run(field, iterations=2)
+        np.testing.assert_array_equal(recovered.field, baseline.field)
+        assert recovered.restarts == 1
+
+    def test_stats_carried_across_restart(self, session):
+        """The retired generation's communication is folded into the final
+        stats: a crashed-and-restarted run reports at least the fault-free
+        run's message volume, never less."""
+        field = global_field(12)
+        plan = plan_for(session, (2, 1), 12)
+        baseline = plan.run(field, iterations=3)
+        crashed = plan.run(field, iterations=3, resilience=ResilienceOptions(
+            plan=FaultPlan(rank_crashes=(RankCrash(rank=1, iteration=1),))))
+        assert crashed.messages >= baseline.messages
+
+
+class TestCombinedAcceptance:
+    def test_serialized_plan_with_comm_faults_and_crash_bitwise(self, session):
+        """The ISSUE acceptance criterion, replayed from JSON: drops,
+        delays, duplicates, corruptions *and* a rank crash, recovered to
+        the exact bits of the fault-free run."""
+        plan_json = FaultPlan(
+            seed=42,
+            comm_faults=(CommFault("drop", 3), CommFault("delay", 5),
+                         CommFault("duplicate", 7), CommFault("corrupt", 9)),
+            rank_crashes=(RankCrash(rank=1, iteration=1),),
+        ).to_json()
+        fault_plan = FaultPlan.from_json(plan_json)
+        field = global_field(12, seed=42)
+        plan = plan_for(session, (2, 2), 12)
+        baseline = plan.run(field, iterations=3)
+        faulted = plan.run(field, iterations=3,
+                           resilience=ResilienceOptions(plan=fault_plan))
+        np.testing.assert_array_equal(faulted.field, baseline.field)
+        recovery = faulted.recovery
+        assert recovery.ok
+        assert recovery.injected.get("crash") == 1
+        assert sum(recovery.injected.get(kind, 0) for kind in
+                   ("drop", "delay", "duplicate", "corrupt")) >= 1
+        assert faulted.restarts == 1
+
+    def test_replay_is_deterministic(self, session):
+        fault_plan = FaultPlan(
+            comm_faults=(CommFault("drop", 2), CommFault("corrupt", 4)),
+            rank_crashes=(RankCrash(rank=0, iteration=1),))
+        field = global_field(12, seed=9)
+        plan = plan_for(session, (2, 1), 12)
+        first = plan.run(field, iterations=3,
+                         resilience=ResilienceOptions(plan=fault_plan))
+        second = plan.run(field, iterations=3,
+                          resilience=ResilienceOptions(plan=fault_plan))
+        np.testing.assert_array_equal(first.field, second.field)
+        assert first.recovery.injected == second.recovery.injected
+
+
+class TestOptionValidation:
+    def test_resilience_options_validated(self):
+        with pytest.raises(ResilienceError, match="checkpoint_interval"):
+            ResilienceOptions(checkpoint_interval=0)
+        with pytest.raises(ResilienceError, match="max_restarts"):
+            ResilienceOptions(max_restarts=-1)
+        with pytest.raises(ResilienceError, match="backoff"):
+            ResilienceOptions(backoff_initial=0.0)
+
+    def test_distribute_rejects_non_options_resilience(self, session):
+        program = session.compile(
+            gauss_seidel.generate_source_shaped((14,) * 3, niters=1))
+        compiled = program.lower("dmp", grid=(2, 1),
+                                 execution_mode="vectorize")
+        with pytest.raises(OptionError,
+                           match="resilience must be a ResilienceOptions"):
+            compiled.distribute(
+                source_builder=gauss_seidel.generate_source_shaped,
+                resilience={"max_restarts": 2})
+
+    @pytest.mark.parametrize("bad", [0, -1.5, "fast", True])
+    def test_distribute_rejects_bad_timeout_naming_backend(self, session,
+                                                           bad):
+        program = session.compile(
+            gauss_seidel.generate_source_shaped((14,) * 3, niters=1))
+        compiled = program.lower("dmp", grid=(2, 1),
+                                 execution_mode="vectorize")
+        with pytest.raises(OptionError, match="'dmp'"):
+            compiled.distribute(
+                source_builder=gauss_seidel.generate_source_shaped,
+                timeout=bad)

@@ -1,0 +1,185 @@
+"""Self-healing communicator: recovery from every message-level fault.
+
+Each test injects exactly one fault kind through a deterministic hook and
+asserts both sides of the contract: the receiver still gets the pristine
+payload (bitwise) and the recovery mechanism that saved it is visible in
+``comm.stats``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.resilience import CommFault, FaultInjector, FaultPlan
+from repro.runtime import MPIAbort, MPIError, SimulatedCommunicator
+
+
+def payload(value, n=4):
+    return np.full(n, float(value))
+
+
+def resilient_comm(size=2, timeout=5.0, fault_hook=None, **knobs):
+    return SimulatedCommunicator(size, timeout=timeout, fault_hook=fault_hook,
+                                 resilient=True, backoff_initial=0.001,
+                                 backoff_cap=0.01, **knobs)
+
+
+def hook_for(*faults):
+    """A fault hook driven by a FaultPlan, as the executor builds it."""
+    return FaultInjector(FaultPlan(comm_faults=tuple(faults))).on_send
+
+
+class TestDropRecovery:
+    def test_dropped_message_recovered_by_retransmission(self):
+        comm = resilient_comm(fault_hook=hook_for(CommFault("drop", 0)))
+        comm.send(0, 1, 0, payload(1))
+        out = comm.receive(0, 1, 0)
+        np.testing.assert_array_equal(out, payload(1))
+        assert comm.stats["retransmissions"] >= 1
+        assert comm.stats["receive_retries"] >= 1
+
+    def test_later_arrival_does_not_mask_a_dropped_predecessor(self):
+        """Regression: a seq-1 message already in the mailbox must not
+        satisfy the wait for seq 0 — the NACK that retransmits the dropped
+        seq 0 has to fire even while later traffic is queued."""
+        comm = resilient_comm(fault_hook=hook_for(CommFault("drop", 0)))
+        comm.send(0, 1, 0, payload(1))  # dropped, survives in the outbox
+        comm.send(0, 1, 0, payload(2))  # delivered, seq 1
+        np.testing.assert_array_equal(comm.receive(0, 1, 0), payload(1))
+        np.testing.assert_array_equal(comm.receive(0, 1, 0), payload(2))
+        assert comm.stats["retransmissions"] >= 1
+
+    def test_drop_of_never_retransmittable_message_still_times_out(self):
+        comm = resilient_comm(timeout=0.2)
+        with pytest.raises(MPIError, match="receive timed out"):
+            comm.receive(0, 1, 0)
+
+
+class TestDelayRecovery:
+    def test_delayed_message_released_by_nack(self):
+        comm = resilient_comm(fault_hook=hook_for(CommFault("delay", 0)))
+        comm.send(0, 1, 0, payload(3))
+        np.testing.assert_array_equal(comm.receive(0, 1, 0), payload(3))
+        assert comm.stats["delays_released"] == 1
+
+    def test_delayed_message_behind_later_traffic_is_released(self):
+        comm = resilient_comm(fault_hook=hook_for(CommFault("delay", 0)))
+        comm.send(0, 1, 0, payload(1))  # held back
+        comm.send(0, 1, 0, payload(2))  # delivered first
+        np.testing.assert_array_equal(comm.receive(0, 1, 0), payload(1))
+        np.testing.assert_array_equal(comm.receive(0, 1, 0), payload(2))
+        assert comm.stats["delays_released"] == 1
+
+
+class TestDuplicateRecovery:
+    def test_duplicate_deduplicated_by_sequence_number(self):
+        comm = resilient_comm(fault_hook=hook_for(CommFault("duplicate", 0)))
+        comm.send(0, 1, 0, payload(4))
+        comm.send(0, 1, 0, payload(5))
+        np.testing.assert_array_equal(comm.receive(0, 1, 0), payload(4))
+        # The stale copy of seq 0 is purged while scanning for seq 1.
+        np.testing.assert_array_equal(comm.receive(0, 1, 0), payload(5))
+        assert comm.stats["duplicates_dropped"] == 1
+
+    def test_logical_message_count_excludes_recovery_traffic(self):
+        comm = resilient_comm(fault_hook=hook_for(CommFault("duplicate", 0)))
+        comm.send(0, 1, 0, payload(4))
+        assert comm.message_count == 1
+
+
+class TestCorruptionRecovery:
+    def test_corrupted_payload_detected_and_retransmitted(self):
+        comm = resilient_comm(fault_hook=hook_for(CommFault("corrupt", 0)))
+        original = np.arange(6, dtype=float)
+        comm.send(0, 1, 0, original)
+        np.testing.assert_array_equal(comm.receive(0, 1, 0), original)
+        assert comm.stats["corruptions_detected"] == 1
+        assert comm.stats["retransmissions"] == 1
+
+    def test_try_receive_detects_corruption(self):
+        comm = resilient_comm(fault_hook=hook_for(CommFault("corrupt", 0)))
+        original = np.arange(6, dtype=float)
+        comm.send(0, 1, 0, original)
+        first = comm.try_receive(0, 1, 0)  # corrupted copy rejected
+        assert first is None
+        out = comm.try_receive(0, 1, 0)  # pristine retransmission
+        np.testing.assert_array_equal(out, original)
+
+
+class TestResilientEqualsLegacy:
+    def test_fault_free_traffic_identical_across_modes(self):
+        legacy = SimulatedCommunicator(2, timeout=5.0)
+        resilient = resilient_comm()
+        for comm in (legacy, resilient):
+            comm.send(0, 1, 7, payload(9))
+            comm.send(1, 0, 8, payload(10))
+        np.testing.assert_array_equal(legacy.receive(0, 1, 7),
+                                      resilient.receive(0, 1, 7))
+        np.testing.assert_array_equal(legacy.receive(1, 0, 8),
+                                      resilient.receive(1, 0, 8))
+        assert legacy.message_count == resilient.message_count
+        assert legacy.bytes_sent == resilient.bytes_sent
+
+
+class TestAbort:
+    def test_abort_wakes_blocked_receive(self):
+        comm = resilient_comm(timeout=30.0)
+        errors = []
+
+        def blocked():
+            try:
+                comm.receive(0, 1, 0)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        comm.abort("rank 0 crashed")
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(errors) == 1
+        assert isinstance(errors[0], MPIAbort)
+        assert "rank 0 crashed" in str(errors[0])
+
+    def test_abort_wakes_blocked_barrier(self):
+        comm = SimulatedCommunicator(2, timeout=30.0)
+        errors = []
+
+        def blocked():
+            try:
+                comm.barrier(0)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        comm.abort("peer died")
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert isinstance(errors[0], MPIAbort)
+
+    def test_send_after_abort_raises(self):
+        comm = resilient_comm()
+        comm.abort("gone")
+        with pytest.raises(MPIAbort):
+            comm.send(0, 1, 0, payload(1))
+
+
+class TestBarrierDiagnostics:
+    def test_barrier_timeout_names_arrived_and_missing_ranks(self):
+        comm = SimulatedCommunicator(3, timeout=0.1)
+        comm.send(0, 1, 5, payload(1))  # in-flight traffic for the snapshot
+        with pytest.raises(MPIError) as err:
+            comm.barrier(2)
+        message = str(err.value)
+        assert "barrier timed out after 0.1s" in message
+        assert "1 of 3 ranks arrived" in message
+        assert "arrived: [2]" in message
+        assert "missing: [0, 1]" in message
+        assert "src=0 dest=1 tag=5" in message
+
+    def test_barrier_timeout_reports_empty_mailboxes(self):
+        comm = SimulatedCommunicator(2, timeout=0.1)
+        with pytest.raises(MPIError, match="pending messages: none"):
+            comm.barrier(0)
