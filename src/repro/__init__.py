@@ -46,6 +46,12 @@ _LAZY_EXPORTS = {
     "OpenMPOptions": "repro.api",
     "GpuOptions": "repro.api",
     "DmpOptions": "repro.api",
+    # Compilation as a service (on-disk artifact store + front door).
+    "ArtifactStore": "repro.serve",
+    "CompileService": "repro.serve",
+    "ServiceMetrics": "repro.serve",
+    "ServiceRejected": "repro.serve",
+    "ServiceTimeout": "repro.serve",
     # Fault injection and recovery.
     "FaultPlan": "repro.resilience",
     "ResilienceOptions": "repro.resilience",

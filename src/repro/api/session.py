@@ -11,6 +11,12 @@ persistent thread pool of :mod:`repro.runtime.parallel_executor`.
 Runtime-only options (``execution_mode``, ``threads``) are excluded from the
 cache key, so ``compiled.vectorize(threads=4)`` is a cache *hit* on the
 artifact compiled by ``program.lower(...)``.
+
+With an :class:`repro.serve.ArtifactStore` attached (``Session(store=...)``),
+the memo dict gains a second, on-disk layer shared *across processes*: a
+memory miss consults the store before lowering (a ``disk_hit``), and every
+fresh compile is persisted for the next process.  ``misses`` then counts true
+backend lowers only.
 """
 
 from __future__ import annotations
@@ -42,13 +48,18 @@ class Session:
     """
 
     def __init__(self, registry: Optional[BackendRegistry] = None,
-                 ctx: Optional[Context] = None):
+                 ctx: Optional[Context] = None, store=None):
         self.registry = registry if registry is not None else default_registry
         self._ctx = ctx or default_context()
         self._cache: Dict[Tuple, CompiledArtifact] = {}
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        #: Optional :class:`repro.serve.ArtifactStore`: a shared on-disk
+        #: cache layer consulted on memory misses and written on compiles.
+        self.store = store
+        self._disk_hits = 0
+        self._disk_misses = 0
         #: Deterministic fault injection: called with the source fingerprint
         #: before every backend compile; returning True simulates a transient
         #: compiler crash (see :class:`repro.resilience.FaultInjector`).
@@ -105,6 +116,25 @@ class Session:
                 # bad source cannot retry-storm the backend.
                 self._quarantine_hits += 1
                 raise poisoned
+        if self.store is not None:
+            # Second cache layer: another process may already have lowered
+            # this key.  Store failures (corruption, truncation, version
+            # mismatch) surface as None — a safe miss, never an exception.
+            loaded = self.store.load(key, source=source, backend=backend.name,
+                                     options=options)
+            if loaded is not None:
+                with self._lock:
+                    self._disk_hits += 1
+                    return self._cache.setdefault(key, loaded)
+            with self._lock:
+                self._disk_misses += 1
+        with self._lock:
+            # Re-check under the lock: another thread may have compiled (or
+            # disk-loaded) the key while we were reading the store.
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                return cached
             self._misses += 1
         attempt = 0
         while True:
@@ -124,6 +154,9 @@ class Session:
                     raise
                 with self._lock:
                     self._compile_retry_count += 1
+        if self.store is not None:
+            # Best-effort persist for the next process; save() never raises.
+            self.store.save(key, artifact)
         with self._lock:
             # Two threads may race to compile the same key; the artifacts are
             # equivalent, keep the first and let the loser's result drop.
@@ -133,13 +166,28 @@ class Session:
 
     @property
     def cache_stats(self) -> Dict[str, int]:
-        """Measured cache counters: ``hits``, ``misses``, ``artifacts``."""
+        """Measured cache counters: ``hits``, ``misses``, ``artifacts``.
+
+        With a store attached, ``disk_hits``/``disk_misses`` count the
+        on-disk layer separately and ``misses`` counts true backend lowers
+        only (a disk hit is not a miss).
+        """
         with self._lock:
-            return {
+            stats = {
                 "hits": self._hits,
                 "misses": self._misses,
                 "artifacts": len(self._cache),
             }
+            if self.store is not None:
+                stats["disk_hits"] = self._disk_hits
+                stats["disk_misses"] = self._disk_misses
+            return stats
+
+    def cached_key(self, key: Tuple) -> bool:
+        """Whether ``key`` is already in the in-memory artifact cache (used
+        by :class:`repro.serve.CompileService` for its no-queue hot path)."""
+        with self._lock:
+            return key in self._cache
 
     @property
     def resilience_stats(self) -> Dict[str, int]:
@@ -166,16 +214,24 @@ class Session:
         with self._lock:
             return self._quarantined.get(key)
 
-    def clear_cache(self) -> None:
-        """Drop every cached artifact (and quarantine record) and reset the
-        counters."""
+    def clear_cache(self, keep_quarantine: bool = False) -> None:
+        """Drop every cached artifact and reset the cache counters.
+
+        By default the quarantine records (and their counters) go too.  Pass
+        ``keep_quarantine=True`` to drop artifacts while leaving known-bad
+        sources poisoned — operators reclaiming memory must not un-poison a
+        source whose compiles are known to fail.
+        """
         with self._lock:
             self._cache.clear()
-            self._quarantined.clear()
             self._hits = 0
             self._misses = 0
-            self._compile_retry_count = 0
-            self._quarantine_hits = 0
+            self._disk_hits = 0
+            self._disk_misses = 0
+            if not keep_quarantine:
+                self._quarantined.clear()
+                self._compile_retry_count = 0
+                self._quarantine_hits = 0
 
     # -- batch execution -----------------------------------------------------
 

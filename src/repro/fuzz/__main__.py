@@ -14,6 +14,10 @@ Examples::
     # Replay every persisted corpus case through the full matrix:
     PYTHONPATH=src python -m repro.fuzz --replay-corpus
 
+    # Churn the persistent artifact store too (repro.serve): compiles land
+    # on disk; a second run with the same DIR reloads instead of lowering:
+    PYTHONPATH=src python -m repro.fuzz --seeds 50 --store /tmp/repro-store
+
     # Chaos mode: every seed fault-free first, then under a seeded
     # FaultPlan, demanding bitwise-identical recovered outputs:
     PYTHONPATH=src python -m repro.fuzz --chaos --seeds 20
@@ -63,6 +67,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-minimize", action="store_true",
                         help="report divergences without delta-debugging "
                              "or saving them")
+    parser.add_argument("--store", type=Path, default=None, metavar="DIR",
+                        help="back the farm's session with an on-disk "
+                             "artifact store at DIR (repro.serve), so the "
+                             "fuzz run churns the persistent cache too")
     parser.add_argument("--replay-seed", type=int, default=None, metavar="S",
                         help="replay a single seed through the matrix "
                              "and exit")
@@ -146,8 +154,18 @@ def main(argv=None) -> int:
     if args.chaos:
         return _chaos(args)
 
+    session = None
+    if args.store is not None:
+        # Churn the on-disk artifact store under the farm: every generated
+        # kernel's compile lands on disk and warm reruns reload from it.
+        # The exit-code contract is unchanged — store failures are misses.
+        from ..api.session import Session
+        from ..serve import ArtifactStore
+
+        session = Session(store=ArtifactStore(args.store))
     farm = FuzzFarm(count=args.seeds, start=args.start_seed,
-                    backends=args.backends, time_budget=args.time_budget)
+                    backends=args.backends, time_budget=args.time_budget,
+                    session=session)
 
     def on_case(result):
         if args.quiet:

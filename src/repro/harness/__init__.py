@@ -22,6 +22,7 @@ from .reporting import (
     kernel_stats_table,
     recovery_report_table,
     run_all,
+    service_metrics_table,
 )
 
 __all__ = [
@@ -43,5 +44,6 @@ __all__ = [
     "fuzz_summary_table",
     "kernel_stats_table",
     "recovery_report_table",
+    "service_metrics_table",
     "run_all",
 ]

@@ -94,9 +94,58 @@ def fuzz_summary_table(report) -> str:
             f"{report.cache_stats.get('hits', 0)} hits, "
             f"{report.cache_stats.get('misses', 0)} misses, "
             f"{report.cache_stats.get('artifacts', 0)} artifacts")
+        if "disk_hits" in report.cache_stats:
+            result.notes["cache"] += (
+                f", {report.cache_stats['disk_hits']} disk hits")
     if report.budget_exhausted:
         result.notes["time_budget"] = (
             f"exhausted, {report.seeds_skipped} seeds skipped")
+    return format_table(result)
+
+
+def service_metrics_table(metrics) -> str:
+    """Render a :class:`repro.serve.ServiceMetrics` snapshot as an aligned
+    text table: request/coalescing/backpressure counters, the cache layers
+    (memory, disk, true backend lowers) and per-stage latency percentiles.
+    """
+    from .experiments import ExperimentResult
+
+    result = ExperimentResult(
+        experiment="service_metrics",
+        description="compile/run service counters and stage latencies",
+        columns=("counter", "value"),
+    )
+    result.add("submitted_compiles", metrics.submitted_compiles)
+    result.add("submitted_runs", metrics.submitted_runs)
+    result.add("completed", metrics.completed)
+    result.add("failed", metrics.failed)
+    result.add("coalesced", metrics.coalesced)
+    result.add("rejected", metrics.rejected)
+    result.add("timeouts", metrics.timeouts)
+    result.add("flights_claimed", metrics.flights_claimed)
+    result.add("queue_depth_high_water", metrics.queue_depth_high_water)
+    result.add("memory_hits", metrics.memory_hits)
+    result.add("disk_hits", metrics.disk_hits)
+    result.add("lowers (misses)", metrics.misses)
+    result.add("artifacts", metrics.artifacts)
+    for stage in sorted(metrics.latency):
+        sample = metrics.latency[stage]
+        if not sample.get("count"):
+            continue
+        result.add(
+            f"latency[{stage}]",
+            (f"p50 {sample['p50'] * 1e3:.2f}ms / "
+             f"p90 {sample['p90'] * 1e3:.2f}ms / "
+             f"p99 {sample['p99'] * 1e3:.2f}ms "
+             f"(n={sample['count']})"),
+        )
+    if metrics.store:
+        store = metrics.store
+        result.notes["store"] = (
+            f"{store.get('hits', 0)} hits, {store.get('misses', 0)} misses, "
+            f"{store.get('writes', 0)} writes, "
+            f"{store.get('corrupt_entries', 0)} corrupt, "
+            f"{store.get('evictions', 0)} evicted")
     return format_table(result)
 
 

@@ -1,0 +1,317 @@
+"""CompileService: single-flight, backpressure, timeouts, metrics.
+
+Deterministic concurrency: the tests register gate-controlled backends in a
+private registry so a compile can be held in flight for exactly as long as a
+test needs, instead of relying on scheduler timing.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import Session
+from repro.api.backends import (
+    BackendRegistry,
+    CpuBackend,
+    FlangOnlyBackend,
+    GpuBackend,
+    OpenMPBackend,
+)
+from repro.apps import gauss_seidel
+from repro.harness import service_metrics_table
+from repro.serve import (
+    ArtifactStore,
+    CompileService,
+    ServiceRejected,
+    ServiceTimeout,
+)
+
+
+class GatedCpuBackend(CpuBackend):
+    """A cpu backend whose lowers block until the test opens the gate."""
+
+    name = "gated"
+    aliases = ()
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.gate.set()
+        self.started = threading.Event()
+        self.lower_count = 0
+        self._count_lock = threading.Lock()
+
+    def lower(self, source, options=None, *, ctx=None, **overrides):
+        self.started.set()
+        self.gate.wait()
+        with self._count_lock:
+            self.lower_count += 1
+        return super().lower(source, options, ctx=ctx, **overrides)
+
+
+class FailingBackend(CpuBackend):
+    """A backend whose every lower raises (for quarantine-sharing tests)."""
+
+    name = "failing"
+    aliases = ()
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.gate.set()
+        self.lower_count = 0
+        self._count_lock = threading.Lock()
+
+    def lower(self, source, options=None, *, ctx=None, **overrides):
+        self.gate.wait()
+        with self._count_lock:
+            self.lower_count += 1
+        raise ValueError("synthetic backend failure")
+
+
+def _make_service(**kwargs):
+    reg = BackendRegistry()
+    gated = GatedCpuBackend()
+    failing = FailingBackend()
+    for backend in (gated, failing, CpuBackend(), OpenMPBackend(),
+                    GpuBackend(), FlangOnlyBackend()):
+        reg.register(backend)
+    session = Session(registry=reg)
+    service = CompileService(session, **kwargs)
+    return service, gated, failing
+
+
+SOURCE = gauss_seidel.generate_source(6)
+OTHER_SOURCE = gauss_seidel.generate_source(6, name="other_kernel")
+
+
+class TestSingleFlight:
+    def test_duplicate_inflight_compiles_coalesce_to_one_lower(self):
+        service, gated, _ = _make_service(workers=4, max_queue=32)
+        try:
+            gated.gate.clear()
+            futures = [service.submit_compile(SOURCE, "gated")
+                       for _ in range(6)]
+            assert gated.started.wait(5.0)
+            # Everybody shares the winner's future.
+            assert all(f is futures[0] for f in futures)
+            assert not futures[0].done()
+            gated.gate.set()
+            compiled = futures[0].result(5.0)
+            assert gated.lower_count == 1
+            metrics = service.metrics()
+            assert metrics.coalesced == 5
+            assert metrics.misses == 1
+            assert metrics.submitted_compiles == 6
+            # Every caller sees the same cached artifact.
+            assert service.compile(SOURCE, "gated").artifact is compiled.artifact
+        finally:
+            gated.gate.set()
+            service.close()
+
+    def test_distinct_keys_do_not_coalesce(self):
+        service, gated, _ = _make_service(workers=2)
+        try:
+            a = service.compile(SOURCE, "gated")
+            b = service.compile(OTHER_SOURCE, "gated")
+            c = service.compile(SOURCE, "gated", lower_to_scf=True)
+            assert gated.lower_count == 3
+            assert len({id(h.artifact) for h in (a, b, c)}) == 3
+        finally:
+            service.close()
+
+    def test_runs_are_never_coalesced_but_their_compile_is(self):
+        service, gated, _ = _make_service(workers=4)
+        try:
+            fields = [gauss_seidel.initial_condition(6) for _ in range(6)]
+            futures = [
+                service.submit_run(SOURCE, "gauss_seidel", [field],
+                                   backend="gated")
+                for field in fields
+            ]
+            interps = [f.result(10.0) for f in futures]
+            assert gated.lower_count == 1
+            assert len({id(i) for i in interps}) == 6  # one execution each
+            metrics = service.metrics()
+            assert metrics.submitted_runs == 6
+            assert metrics.completed == 6
+            assert metrics.misses == 1
+        finally:
+            service.close()
+
+    def test_cached_key_fast_path_skips_the_queue(self):
+        service, gated, _ = _make_service(workers=1)
+        try:
+            service.compile(SOURCE, "gated")
+            baseline = service.metrics()
+            future = service.submit_compile(SOURCE, "gated")
+            assert future.done()  # resolved inline, no queue round-trip
+            metrics = service.metrics()
+            assert metrics.memory_hits == baseline.memory_hits + 1
+            assert gated.lower_count == 1
+        finally:
+            service.close()
+
+    def test_failed_compile_shares_one_exception_with_the_cohort(self):
+        service, _, failing = _make_service(workers=4)
+        service.session.compile_retries = 0
+        try:
+            failing.gate.clear()
+            futures = [service.submit_compile(SOURCE, "failing")
+                       for _ in range(4)]
+            failing.gate.set()
+            errors = []
+            for future in futures:
+                with pytest.raises(ValueError, match="synthetic"):
+                    future.result(5.0)
+                errors.append(future.exception())
+            # One lower, one exception object, shared by the whole cohort.
+            assert failing.lower_count == 1
+            assert len({id(e) for e in errors}) == 1
+            # Later requests short-circuit on the session quarantine with
+            # the same original exception object.
+            with pytest.raises(ValueError, match="synthetic"):
+                service.compile(SOURCE, "failing")
+            assert failing.lower_count == 1
+            assert service.session.resilience_stats["quarantine_hits"] == 1
+        finally:
+            failing.gate.set()
+            service.close()
+
+
+class TestBackpressure:
+    def test_queue_full_raises_typed_rejection(self):
+        service, gated, _ = _make_service(workers=1, max_queue=1)
+        try:
+            gated.gate.clear()
+            # Occupy the only worker...
+            first = service.submit_compile(SOURCE, "gated")
+            assert gated.started.wait(5.0)
+            # ...fill the queue with a second key...
+            second = service.submit_compile(OTHER_SOURCE, "gated")
+            # ...and the third distinct key must be rejected, typed.
+            with pytest.raises(ServiceRejected) as excinfo:
+                service.submit_compile(SOURCE, "gated", lower_to_scf=True)
+            assert excinfo.value.max_queue == 1
+            metrics = service.metrics()
+            assert metrics.rejected == 1
+            assert metrics.queue_depth_high_water >= 1
+            gated.gate.set()
+            assert first.result(10.0) is not None
+            assert second.result(10.0) is not None
+        finally:
+            gated.gate.set()
+            service.close()
+
+    def test_rejected_flight_resolves_coalesced_waiters(self):
+        """A submit whose enqueue is rejected must fail its own future, so
+        racers that coalesced onto it do not hang forever."""
+        service, gated, _ = _make_service(workers=1, max_queue=1)
+        try:
+            gated.gate.clear()
+            service.submit_compile(SOURCE, "gated")
+            assert gated.started.wait(5.0)
+            service.submit_compile(OTHER_SOURCE, "gated")
+            with pytest.raises(ServiceRejected):
+                service.submit_compile(SOURCE, "gated", lower_to_scf=True)
+        finally:
+            gated.gate.set()
+            service.close()
+        # The rejected request never reached a worker: no lower for its key.
+        assert gated.lower_count == 2
+
+    def test_coalesced_requests_do_not_consume_queue_capacity(self):
+        service, gated, _ = _make_service(workers=1, max_queue=1)
+        try:
+            gated.gate.clear()
+            first = service.submit_compile(SOURCE, "gated")
+            assert gated.started.wait(5.0)
+            queued = service.submit_compile(OTHER_SOURCE, "gated")
+            # The queue is full, but duplicates of an in-flight key coalesce
+            # without admission — no rejection.
+            dup = service.submit_compile(SOURCE, "gated")
+            assert dup is first
+            gated.gate.set()
+            assert queued.result(10.0) is not None
+        finally:
+            gated.gate.set()
+            service.close()
+
+
+class TestTimeouts:
+    def test_blocking_compile_times_out_typed(self):
+        service, gated, _ = _make_service(workers=1)
+        try:
+            gated.gate.clear()
+            started = time.perf_counter()
+            with pytest.raises(ServiceTimeout):
+                service.compile(SOURCE, "gated", timeout=0.05)
+            assert time.perf_counter() - started < 5.0
+            assert service.metrics().timeouts == 1
+            # The flight kept running: once the gate opens, a retry is served
+            # from the cache without a second lower.
+            gated.gate.set()
+            compiled = service.compile(SOURCE, "gated", timeout=10.0)
+            assert compiled is not None
+            assert gated.lower_count == 1
+        finally:
+            gated.gate.set()
+            service.close()
+
+    def test_default_timeout_applies(self):
+        service, gated, _ = _make_service(workers=1, default_timeout=0.05)
+        try:
+            gated.gate.clear()
+            with pytest.raises(ServiceTimeout):
+                service.compile(SOURCE, "gated")
+        finally:
+            gated.gate.set()
+            service.close()
+
+
+class TestLifecycleAndMetrics:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            CompileService(Session(), workers=0)
+        with pytest.raises(ValueError, match="max_queue"):
+            CompileService(Session(), max_queue=0)
+
+    def test_conflicting_store_rejected(self, tmp_path):
+        session = Session(store=ArtifactStore(tmp_path / "a"))
+        with pytest.raises(ValueError, match="different store"):
+            CompileService(session, store=ArtifactStore(tmp_path / "b"))
+
+    def test_closed_service_rejects_requests(self):
+        service, _, _ = _make_service(workers=1)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit_compile(SOURCE, "cpu")
+        service.close()  # idempotent
+
+    def test_context_manager_closes(self):
+        with _make_service(workers=1)[0] as service:
+            service.compile(SOURCE, "cpu")
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit_compile(SOURCE, "cpu")
+
+    def test_metrics_table_renders(self, tmp_path):
+        with CompileService(store=ArtifactStore(tmp_path),
+                            workers=2) as service:
+            field = gauss_seidel.initial_condition(6)
+            service.run(SOURCE, "gauss_seidel", [field],
+                        execution_mode="vectorize")
+            table = service_metrics_table(service.metrics())
+        for needle in ("coalesced", "queue_depth_high_water", "disk_hits",
+                       "lowers (misses)", "latency[execute]", "store"):
+            assert needle in table
+
+    def test_metrics_latency_percentiles_present(self):
+        service, _, _ = _make_service(workers=2)
+        try:
+            for _ in range(3):
+                service.compile(OTHER_SOURCE, "cpu")
+            latency = service.metrics().latency
+            assert latency["lower"]["count"] >= 1
+            assert latency["queue_wait"]["count"] >= 1
+            assert latency["lower"]["p50"] <= latency["lower"]["max"]
+        finally:
+            service.close()

@@ -1,0 +1,303 @@
+"""ArtifactStore: persistence round-trip and every failure path.
+
+The store's contract is "corruption is a miss, never a crash": truncated IR,
+checksum mismatches, unreadable sidecars, version skew and racing writers
+must all surface as ``None`` (→ recompile), with the failure counted, and
+never as an exception to the client.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.api import Session
+from repro.api.backends import registry
+from repro.api.program import source_fingerprint
+from repro.apps import gauss_seidel, pw_advection
+from repro.serve import ArtifactStore, STORE_FORMAT_VERSION, key_digest
+from repro.serve.store import serialize_artifact
+
+
+def _compile_artifact(source, backend="cpu", **overrides):
+    backend_obj = registry.get(backend)
+    options = backend_obj.make_options(None, **overrides)
+    artifact = backend_obj.lower(source, options)
+    key = (source_fingerprint(source), backend_obj.name, options.cache_key())
+    return key, artifact, options
+
+
+def _entry_paths(store, key):
+    digest = key_digest(key)
+    return (store._dir / f"{digest}.ir", store._dir / f"{digest}.json")
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip_executes_bitwise(self, tmp_path):
+        source = gauss_seidel.generate_source(8, niters=2)
+        key, artifact, options = _compile_artifact(
+            source, "cpu", lower_to_scf=True)
+        store = ArtifactStore(tmp_path)
+        assert store.save(key, artifact)
+
+        loaded = store.load(key, source=source, backend="cpu",
+                            options=options)
+        assert loaded is not None
+        assert loaded.discovered_stencils == artifact.discovered_stencils
+        assert loaded.extracted_functions == artifact.extracted_functions
+
+        # The reloaded artifact must execute bitwise-identically.
+        from repro.api.backends import get_backend
+        from repro.api.program import build_interpreter
+
+        u_orig = gauss_seidel.initial_condition(8)
+        u_loaded = gauss_seidel.initial_condition(8)
+        backend = get_backend("cpu")
+        build_interpreter(backend, options, artifact.modules,
+                          execution_mode="vectorize").call(
+                              "gauss_seidel", u_orig)
+        build_interpreter(backend, options, loaded.modules,
+                          execution_mode="vectorize").call(
+                              "gauss_seidel", u_loaded)
+        assert u_orig.tobytes() == u_loaded.tobytes()
+
+    @pytest.mark.parametrize("backend,overrides", [
+        ("flang-only", {}),
+        ("gpu", {"lower_to_scf": True}),
+        ("dmp", {"grid": (2, 1)}),
+    ])
+    def test_every_backend_round_trips(self, tmp_path, backend, overrides):
+        source = gauss_seidel.generate_source(6)
+        key, artifact, options = _compile_artifact(source, backend,
+                                                   **overrides)
+        store = ArtifactStore(tmp_path)
+        assert store.save(key, artifact)
+        loaded = store.load(key, source=source, backend=backend,
+                            options=options)
+        assert loaded is not None
+        assert (loaded.stencil_module is None) == (
+            artifact.stencil_module is None)
+        assert store.stats["hits"] == 1
+
+    def test_absent_key_is_a_plain_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        source = gauss_seidel.generate_source(6)
+        key = (source_fingerprint(source), "cpu", ())
+        assert store.load(key, source=source, backend="cpu",
+                          options=None) is None
+        assert store.stats["misses"] == 1
+        assert store.stats["corrupt_entries"] == 0
+
+    def test_key_digest_is_stable_and_distinct(self):
+        fp = "a" * 64
+        key_a = (fp, "cpu", (("lower_to_scf", True),))
+        key_b = (fp, "cpu", (("lower_to_scf", False),))
+        assert key_digest(key_a) == key_digest(key_a)
+        assert key_digest(key_a) != key_digest(key_b)
+        assert key_digest(key_a) != key_digest((fp, "gpu", key_a[2]))
+
+
+class TestFailurePaths:
+    """Every corruption mode is a safe miss + recompile, never an exception."""
+
+    def _stored(self, tmp_path, **overrides):
+        source = gauss_seidel.generate_source(6)
+        key, artifact, options = _compile_artifact(source, "cpu", **overrides)
+        store = ArtifactStore(tmp_path)
+        store.save(key, artifact)
+        return store, key, source, options
+
+    def test_truncated_ir_is_a_miss_and_entry_is_dropped(self, tmp_path):
+        store, key, source, options = self._stored(tmp_path)
+        ir_path, meta_path = _entry_paths(store, key)
+        ir_path.write_text(ir_path.read_text()[: 100], encoding="utf-8")
+        assert store.load(key, source=source, backend="cpu",
+                          options=options) is None
+        assert store.stats["corrupt_entries"] == 1
+        assert not ir_path.exists() and not meta_path.exists()
+
+    def test_bad_checksum_is_a_miss(self, tmp_path):
+        store, key, source, options = self._stored(tmp_path)
+        ir_path, _ = _entry_paths(store, key)
+        ir_path.write_text(ir_path.read_text() + "\n// tampered",
+                           encoding="utf-8")
+        assert store.load(key, source=source, backend="cpu",
+                          options=options) is None
+        assert store.stats["corrupt_entries"] == 1
+
+    def test_missing_ir_file_is_a_miss(self, tmp_path):
+        store, key, source, options = self._stored(tmp_path)
+        ir_path, _ = _entry_paths(store, key)
+        ir_path.unlink()
+        assert store.load(key, source=source, backend="cpu",
+                          options=options) is None
+        assert store.stats["corrupt_entries"] == 1
+
+    def test_garbage_sidecar_is_a_miss(self, tmp_path):
+        store, key, source, options = self._stored(tmp_path)
+        _, meta_path = _entry_paths(store, key)
+        meta_path.write_text("{not json", encoding="utf-8")
+        assert store.load(key, source=source, backend="cpu",
+                          options=options) is None
+        assert store.stats["corrupt_entries"] == 1
+
+    def test_checksum_matches_but_ir_unparseable_is_a_miss(self, tmp_path):
+        store, key, source, options = self._stored(tmp_path)
+        ir_path, meta_path = _entry_paths(store, key)
+        bogus = "this is not IR"
+        ir_path.write_text(bogus, encoding="utf-8")
+        meta = json.loads(meta_path.read_text())
+        import hashlib
+        meta["checksum"] = hashlib.sha256(bogus.encode()).hexdigest()
+        meta_path.write_text(json.dumps(meta), encoding="utf-8")
+        assert store.load(key, source=source, backend="cpu",
+                          options=options) is None
+        assert store.stats["corrupt_entries"] == 1
+
+    def test_version_mismatch_is_a_counted_miss_not_corruption(self, tmp_path):
+        store, key, source, options = self._stored(tmp_path)
+        _, meta_path = _entry_paths(store, key)
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = STORE_FORMAT_VERSION + 1
+        meta_path.write_text(json.dumps(meta), encoding="utf-8")
+        assert store.load(key, source=source, backend="cpu",
+                          options=options) is None
+        stats = store.stats
+        assert stats["version_mismatches"] == 1
+        assert stats["corrupt_entries"] == 0
+        # A version-skewed entry is left alone (an old reader must not
+        # destroy a future writer's data).
+        assert meta_path.exists()
+
+    def test_session_recompiles_through_a_corrupt_entry(self, tmp_path):
+        """End to end: corruption costs one recompile, never an exception."""
+        source = gauss_seidel.generate_source(6)
+        store = ArtifactStore(tmp_path)
+        warm = Session(store=store)
+        warm.lower(source, "cpu", lower_to_scf=True)
+        # Corrupt every IR payload on disk.
+        for ir_file in store._dir.glob("*.ir"):
+            ir_file.write_text("garbage", encoding="utf-8")
+        cold = Session(store=ArtifactStore(tmp_path))
+        compiled = cold.lower(source, "cpu", lower_to_scf=True)
+        assert compiled.artifact is not None
+        stats = cold.cache_stats
+        assert stats["misses"] == 1  # recompiled
+        assert stats["disk_hits"] == 0
+
+    def test_invalid_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ArtifactStore(tmp_path, max_bytes=0)
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_same_key_leave_a_loadable_entry(self, tmp_path):
+        source = pw_advection.generate_source(6)
+        key, artifact, options = _compile_artifact(
+            source, "cpu", lower_to_scf=True)
+        store = ArtifactStore(tmp_path)
+        barrier = threading.Barrier(8)
+        failures = []
+
+        def write():
+            barrier.wait()
+            try:
+                assert store.save(key, artifact)
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+
+        threads = [threading.Thread(target=write) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        assert len(store) == 1
+        loaded = store.load(key, source=source, backend="cpu",
+                            options=options)
+        assert loaded is not None
+        # No temp files left behind by the racing writers.
+        assert not list(store._dir.glob("*.tmp"))
+
+    def test_concurrent_reader_during_write_never_crashes(self, tmp_path):
+        source = gauss_seidel.generate_source(6)
+        key, artifact, options = _compile_artifact(source, "cpu")
+        store = ArtifactStore(tmp_path)
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    store.load(key, source=source, backend="cpu",
+                               options=options)
+                except BaseException as exc:  # pragma: no cover
+                    failures.append(exc)
+                    return
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for _ in range(10):
+            store.save(key, artifact)
+        stop.set()
+        t.join()
+        assert not failures
+
+
+class TestLRUEviction:
+    def _save_n(self, store, n, backend="cpu"):
+        keys = []
+        for i in range(n):
+            source = gauss_seidel.generate_source(6, name=f"kernel_{i}")
+            key, artifact, options = _compile_artifact(source, backend)
+            store.save(key, artifact)
+            keys.append((key, source, options))
+        return keys
+
+    def test_evicts_least_recently_used_first(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        keys = self._save_n(store, 3)
+        # Age the entries deterministically: keys[0] oldest ... keys[2]
+        # newest, then touch keys[0] by reading it (a hit is a use).
+        for age, (key, _, _) in enumerate(keys):
+            _, meta_path = _entry_paths(store, key)
+            os.utime(meta_path, (1000.0 + age, 1000.0 + age))
+        store.load(keys[0][0], source=keys[0][1], backend="cpu",
+                   options=keys[0][2])
+
+        # Cap so exactly one entry must go: keys[1] is now the LRU.
+        sizes = {digest: size for digest, size, _ in store.entries()}
+        store.max_bytes = sum(sizes.values()) - 1
+        store._evict_to_cap()
+        assert store.stats["evictions"] == 1
+        remaining = {digest for digest, _, _ in store.entries()}
+        assert key_digest(keys[1][0]) not in remaining
+        assert key_digest(keys[0][0]) in remaining
+        assert key_digest(keys[2][0]) in remaining
+
+    def test_eviction_after_save_respects_cap(self, tmp_path):
+        probe = ArtifactStore(tmp_path / "probe")
+        self._save_n(probe, 1)
+        entry_bytes = probe.total_bytes()
+
+        store = ArtifactStore(tmp_path / "capped",
+                              max_bytes=int(entry_bytes * 2.5))
+        keys = self._save_n(store, 4)
+        assert store.total_bytes() <= store.max_bytes
+        assert store.stats["evictions"] >= 1
+        # The newest write always survives its own eviction pass.
+        newest = key_digest(keys[-1][0])
+        assert newest in {digest for digest, _, _ in store.entries()}
+
+    def test_evicted_entry_is_a_safe_miss_then_recompile(self, tmp_path):
+        source = gauss_seidel.generate_source(6)
+        store = ArtifactStore(tmp_path, max_bytes=1)
+        session = Session(store=store)
+        session.lower(source, "cpu")
+        # The cap is below one artifact: the write happened, then the entry
+        # was evicted.  A fresh process misses and recompiles.
+        cold = Session(store=ArtifactStore(tmp_path, max_bytes=1))
+        cold.lower(source, "cpu")
+        assert cold.cache_stats["misses"] == 1
+        assert cold.cache_stats["disk_hits"] == 0
