@@ -1,0 +1,66 @@
+"""Schedule acceptance: a tiled schedule measurably beats the default.
+
+The PW advection apply kernel builds dozens of whole-domain temporaries per
+sweep; at n=96 the working set leaves cache and the sweep is memory-bound.
+``fuse().tile(32, 32, 32)`` re-runs the identical NumPy expressions over
+cache-sized boxes — bitwise-equal output (proved by ``verify()``), with the
+temporaries staying resident.  Measured locally this is ~1.6x; the assertion
+demands a conservative 1.1x so scheduler noise cannot flake the suite.
+"""
+
+import time
+
+import pytest
+
+import repro
+from repro.apps import pw_advection
+
+_N = 96
+_TILE = (32, 32, 32)
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def pw_handles():
+    base = repro.Session().compile(
+        pw_advection.generate_source(_N)).lower("cpu")
+    schedule = base.schedule().fuse().tile(*_TILE).verify()
+    return base, schedule.compiled
+
+
+def test_tiled_schedule_beats_default(pw_handles):
+    base, tiled = pw_handles
+    fields = pw_advection.initial_fields(_N)
+
+    def runner(handle):
+        args = [f.copy(order="F") for f in fields]
+        interp = handle.vectorize()
+        return lambda: interp.run("pw_advection", *args)
+
+    default_s = _best_of(runner(base))
+    tiled_s = _best_of(runner(tiled))
+    speedup = default_s / tiled_s
+    assert speedup > 1.1, (
+        f"fuse().tile{_TILE} on pw_advection n={_N}: {tiled_s * 1e3:.1f} ms "
+        f"vs default {default_s * 1e3:.1f} ms — only {speedup:.2f}x"
+    )
+
+
+def test_tiled_schedule_is_bitwise_equal(pw_handles):
+    base, tiled = pw_handles
+    fields = pw_advection.initial_fields(_N)
+    expected = [f.copy(order="F") for f in fields]
+    actual = [f.copy(order="F") for f in fields]
+    base.vectorize().run("pw_advection", *expected)
+    interp = tiled.vectorize().run("pw_advection", *actual)
+    assert interp.stats["schedule_tiles"] > 0
+    assert all(e.tobytes() == a.tobytes()
+               for e, a in zip(expected, actual))

@@ -24,11 +24,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Tuple, Type, Union
 
+from ..dialects import stencil
 from ..frontend import compile_to_fir
 from ..ir.context import Context, default_context
 from ..ir.pass_manager import PassManager
 from ..runtime.gpu_runtime import SimulatedGPU
-from ..transforms import pipelines
+from ..transforms import pipelines, schedule_transforms
 from ..transforms.distributed import ConvertDMPToMPIPass, ConvertStencilToDMPPass
 from ..transforms.gpu_data_management import GpuHostRegisterPass, GpuOptimisedDataPass
 from ..transforms.stencil_discovery import StencilDiscoveryPass
@@ -109,6 +110,8 @@ class Backend:
             fir_module=fir_module,
         )
         if not self.uses_stencil_flow:
+            schedule_transforms.apply_schedule_chain(artifact, ctx, "pre")
+            schedule_transforms.apply_schedule_chain(artifact, ctx, "post")
             return artifact
 
         # 1. Discover stencils in the FIR produced by "Flang".
@@ -126,11 +129,23 @@ class Backend:
         if artifact.stencil_module is not None:
             artifact.stencil_module.verify()
         if artifact.stencil_module is None or not artifact.extracted_functions:
+            # No stencils discovered: schedule directives have nothing to
+            # rewrite — applying the chain raises the loud ScheduleError
+            # instead of silently compiling an unscheduled artifact under a
+            # schedule-extended cache key.
+            schedule_transforms.apply_schedule_chain(artifact, ctx, "pre")
+            schedule_transforms.apply_schedule_chain(artifact, ctx, "post")
             return artifact
 
-        # 3. Target-specific transformation of the stencil module (and, for
+        # 3. Schedule directives that act at the stencil level (fuse) run
+        #    before the backend pipeline; loop-level directives after it.
+        schedule_transforms.apply_schedule_chain(artifact, ctx, "pre")
+
+        # 4. Target-specific transformation of the stencil module (and, for
         #    GPU data management / DMP, coordinated edits of the FIR module).
         self.transform(artifact, ctx)
+
+        schedule_transforms.apply_schedule_chain(artifact, ctx, "post")
         return artifact
 
     def transform(self, artifact: CompiledArtifact, ctx: Context) -> None:
@@ -202,18 +217,54 @@ class GpuBackend(Backend):
         "host_register": GpuHostRegisterPass,
     }
 
+    #: The paper's Listing 4 tile sizes, adapted to each kernel's rank when
+    #: ``tile_sizes`` is left at its ``None`` default.
+    _DEFAULT_TILE = (32, 32, 1)
+
     def pipeline(self, options: GpuOptions) -> Optional[str]:
-        return pipelines.GPU_STENCIL_PIPELINE if options.lower_to_scf else None
+        if not options.lower_to_scf:
+            return None
+        return pipelines.gpu_stencil_pipeline(
+            options.tile_sizes or self._DEFAULT_TILE
+        )
+
+    def _resolve_tile_sizes(self, artifact: CompiledArtifact) -> Tuple[int, ...]:
+        """Satellite of the schedule work: tile sizes are validated against
+        every lowered kernel's rank *here*, at lower time, instead of being
+        silently padded/truncated deep inside the tiling pass."""
+        kernel_ranks = []
+        for name in artifact.extracted_functions:
+            func_op = artifact.stencil_module.get_symbol(name)
+            for apply_op in func_op.walk_type(stencil.ApplyOp):
+                kernel_ranks.append((name, len(apply_op.lb)))
+        explicit = artifact.options.tile_sizes
+        if explicit is None:
+            max_rank = max((rank for _, rank in kernel_ranks), default=3)
+            default = self._DEFAULT_TILE + (1,) * max(0, max_rank - 3)
+            return default[:max_rank]
+        for name, rank in kernel_ranks:
+            if len(explicit) != rank:
+                raise OptionError(
+                    f"gpu tile_sizes {explicit} has {len(explicit)} "
+                    f"entr{'y' if len(explicit) == 1 else 'ies'} but kernel "
+                    f"'{name}' has rank {rank}; pass exactly one tile size "
+                    f"per dimension (or tile_sizes=None for the rank-adapted "
+                    f"default)"
+                )
+        return explicit
 
     def transform(self, artifact: CompiledArtifact, ctx: Context) -> None:
         options = artifact.options
+        tile = self._resolve_tile_sizes(artifact)
         strategy_cls = self._DATA_PASSES[options.data_strategy]
         strategy = strategy_cls(stencil_module=artifact.stencil_module,
-                                tile=options.tile_sizes)
+                                tile=tile)
         strategy.apply(ctx, artifact.fir_module)
         artifact.fir_module.verify()
         artifact.stencil_module.verify()
-        super().transform(artifact, ctx)
+        if options.lower_to_scf:
+            self.run_pipeline(artifact, pipelines.gpu_stencil_pipeline(tile),
+                              ctx)
 
     def interpreter_kwargs(self, options, overrides):
         if overrides.get("gpu") is None:

@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 
 from ..runtime.kernel_compiler import EXECUTION_MODES
 from ..runtime.parallel_executor import SCHEDULE_KINDS
+from ..schedule.directives import ScheduleError, normalize_schedule_chain
 
 #: GPU host/device data-management strategies (paper Figure 5).
 GPU_DATA_STRATEGIES = ("optimised", "host_register")
@@ -92,6 +93,7 @@ class BackendOptions:
     fuse_stencils: bool = True
     execution_mode: str = "interpret"
     threads: int = 1
+    schedule_chain: Tuple[Tuple, ...] = ()
 
     def __post_init__(self) -> None:
         if self.execution_mode not in EXECUTION_MODES:
@@ -101,6 +103,11 @@ class BackendOptions:
             )
         if not isinstance(self.threads, int) or self.threads < 1:
             raise OptionError(f"threads must be >= 1, got {self.threads!r}")
+        try:
+            normalized = normalize_schedule_chain(self.schedule_chain)
+        except ScheduleError as exc:
+            raise OptionError(f"invalid schedule_chain: {exc}") from exc
+        object.__setattr__(self, "schedule_chain", normalized)
 
     # -- derivation & caching ------------------------------------------------
 
@@ -164,7 +171,11 @@ class GpuOptions(BackendOptions):
 
     ``data_strategy`` selects the paper's bespoke host/device data-movement
     pass (``"optimised"``) or the naive ``gpu.host_register`` strategy;
-    ``tile_sizes`` are the parallel-loop tile sizes of Listing 4.  Both are
+    ``tile_sizes`` are the parallel-loop tile sizes of Listing 4 — ``None``
+    (the default) adapts the paper's ``(32, 32, 1)`` to each kernel's rank
+    at lower time, while an explicit tuple is validated against every
+    lowered loop nest's rank (a mismatch is a loud :class:`OptionError`
+    naming the kernel, never a silently ignored dimension).  Both are
     compile-time cache-key material.  ``streams`` is **runtime-only**: how
     many ordered device streams the simulated GPU exposes for the async
     transfer/launch overlap model — changing it derives a new handle without
@@ -172,18 +183,21 @@ class GpuOptions(BackendOptions):
     """
 
     data_strategy: str = "optimised"
-    tile_sizes: Tuple[int, ...] = (32, 32, 1)
+    tile_sizes: Optional[Tuple[int, ...]] = None
     streams: int = 2
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "tile_sizes", tuple(self.tile_sizes))
+        if self.tile_sizes is not None:
+            object.__setattr__(self, "tile_sizes", tuple(self.tile_sizes))
         super().__post_init__()
         if self.data_strategy not in GPU_DATA_STRATEGIES:
             raise OptionError(
                 f"data_strategy must be one of {GPU_DATA_STRATEGIES}, "
                 f"got {self.data_strategy!r}"
             )
-        if not self.tile_sizes or any(t < 1 for t in self.tile_sizes):
+        if self.tile_sizes is not None and (
+            not self.tile_sizes or any(t < 1 for t in self.tile_sizes)
+        ):
             raise OptionError(
                 f"tile_sizes must be positive, got {self.tile_sizes}"
             )

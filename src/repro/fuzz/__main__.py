@@ -80,6 +80,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--replay-corpus", action="store_true",
                         help="replay every corpus entry through the full "
                              "matrix and exit")
+    parser.add_argument("--schedules", action="store_true",
+                        help="schedule mode: draw a random legal schedule "
+                             "chain (fuse/tile/reorder/unroll) per seed and "
+                             "backend and prove each bitwise-identical to "
+                             "the unscheduled artifact via Schedule.verify()")
     parser.add_argument("--chaos", action="store_true",
                         help="chaos mode: re-run each seed under a seeded "
                              "fault plan (message faults, rank crashes, "
@@ -124,6 +129,35 @@ def _replay_corpus(args) -> int:
     return 0 if regressions == 0 else 1
 
 
+def _schedules(args) -> int:
+    from .schedules import ScheduleFuzzFarm
+
+    session = None
+    if args.store is not None:
+        from ..api.session import Session
+        from ..serve import ArtifactStore
+
+        session = Session(store=ArtifactStore(args.store))
+    farm = ScheduleFuzzFarm(count=args.seeds, start=args.start_seed,
+                            session=session, time_budget=args.time_budget)
+
+    def on_case(result):
+        if args.quiet:
+            return
+        marker = "ok " if result.ok else "DIV"
+        chains = "; ".join(f"{label}: {chain or '-'}"
+                           for label, chain in result.chains)
+        print(f"  seed {result.spec.seed:>5} {marker} {chains}")
+
+    report = farm.run(on_case=on_case)
+    print()
+    print(report.summary())
+    for divergence in report.divergences:
+        print()
+        print(divergence.describe())
+    return 0 if report.ok else 1
+
+
 def _chaos(args) -> int:
     farm = ChaosFarm(count=args.seeds, start=args.start_seed,
                      time_budget=args.time_budget)
@@ -151,6 +185,8 @@ def main(argv=None) -> int:
         return _replay_seed(args)
     if args.replay_corpus:
         return _replay_corpus(args)
+    if args.schedules:
+        return _schedules(args)
     if args.chaos:
         return _chaos(args)
 

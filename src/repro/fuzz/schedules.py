@@ -1,0 +1,232 @@
+"""Random-schedule differential fuzzing: ``python -m repro.fuzz --schedules``.
+
+For each generated :class:`KernelSpec` the farm draws a random schedule
+chain per backend configuration — directives in canonical order
+(``fuse`` → ``tile`` → ``reorder`` → ``unroll``), each kept only if the
+kernel structurally admits it — and asks :meth:`repro.schedule.Schedule.verify`
+to prove the scheduled artifact **bitwise identical** to its unscheduled
+parent.  Three ways a case can fall out:
+
+* the directive is structurally infeasible for this kernel (wrong depth,
+  non-dividing unroll factor): :class:`ScheduleError` at derivation time —
+  the directive is dropped, which is itself coverage of the loud-error path;
+* the scheduled program diverges from the oracle:
+  :class:`ScheduleVerificationError` — a real miscompile, recorded as a
+  divergence with a replay command;
+* anything else raised while compiling or running a structurally accepted
+  chain is a crash, also recorded as a divergence.
+
+The chain drawn for a given ``(seed, config)`` pair is a pure function of
+those two values, so every finding replays from the seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..api.session import Session
+from ..schedule.directives import ScheduleError, describe_chain
+from ..schedule.schedule import Schedule, ScheduleVerificationError
+from .generator import DEFAULT_CONFIG, GeneratorConfig, KernelSpec, generate_spec
+
+#: Tile sizes the chain generator draws from (mixing degenerate, small and
+#: extent-crossing sizes so clipped edge boxes are exercised).
+_TILE_SIZES = (1, 2, 3, 4, 8)
+_UNROLL_FACTORS = (2, 3, 4)
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """One backend configuration random chains are drawn for."""
+
+    label: str
+    backend: str
+    options: Tuple[Tuple[str, object], ...] = ()
+    #: Directives this configuration may draw (canonical order).
+    directives: Tuple[str, ...] = ("fuse", "tile", "reorder", "unroll")
+
+
+def default_schedule_matrix(spec: KernelSpec) -> List[ScheduleConfig]:
+    configs = [
+        ScheduleConfig("cpu-stencil", "cpu", directives=("fuse", "tile")),
+        ScheduleConfig("cpu-scf", "cpu", (("lower_to_scf", True),)),
+        ScheduleConfig("openmp-scf", "openmp",
+                       (("lower_to_scf", True), ("threads", 2))),
+    ]
+    if spec.flang_comparable and spec.rank >= 2:
+        configs.append(
+            ScheduleConfig("flang-reorder", "flang-only",
+                           directives=("reorder",)))
+    return configs
+
+
+def draw_chain(rng: random.Random, spec: KernelSpec,
+               schedule: Schedule, directives: Tuple[str, ...]) -> Schedule:
+    """Grow a random legal chain on ``schedule``, one directive at a time.
+
+    Each candidate is applied through the real lowering; a
+    :class:`ScheduleError` means the kernel does not admit it (too shallow a
+    nest, non-dividing factor, ...) and the candidate is dropped.  Anything
+    that survives derivation is structurally legal by construction.
+    """
+    serial_depth = max(0, spec.rank - 1)
+
+    def attempt(fn: Callable[[Schedule], Schedule]) -> Schedule:
+        try:
+            return fn(schedule)
+        except ScheduleError:
+            return schedule
+
+    if "fuse" in directives and rng.random() < 0.5:
+        schedule = attempt(lambda s: s.fuse())
+    if "tile" in directives and rng.random() < 0.8:
+        sizes = tuple(rng.choice(_TILE_SIZES) for _ in range(spec.rank))
+        schedule = attempt(lambda s: s.tile(*sizes))
+    if "reorder" in directives:
+        # flang bands include every do-loop level; scf nests only the serial
+        # tail — draw over the deepest plausible band and let derivation
+        # reject what the kernel cannot carry.
+        depth = spec.rank if schedule.compiled.backend_name == "flang-only" \
+            else serial_depth
+        if depth >= 2 and rng.random() < 0.7:
+            m = rng.randrange(2, depth + 1)
+            perm = list(range(m))
+            while perm == list(range(m)):  # force a real permutation
+                rng.shuffle(perm)
+            schedule = attempt(lambda s: s.reorder(*perm))
+    if "unroll" in directives and serial_depth >= 1 and rng.random() < 0.5:
+        loop = rng.randrange(serial_depth)
+        factor = rng.choice(_UNROLL_FACTORS)
+        schedule = attempt(lambda s: s.unroll(loop, factor))
+    return schedule
+
+
+@dataclass
+class ScheduleDivergence:
+    """A schedule chain whose execution diverged from the unscheduled
+    parent (or crashed after structural acceptance)."""
+
+    seed: int
+    config_label: str
+    chain: str
+    kind: str  # "verify" | "error"
+    detail: str
+
+    @property
+    def repro_command(self) -> str:
+        return (f"PYTHONPATH=src python -m repro.fuzz --schedules "
+                f"--seeds 1 --start-seed {self.seed}")
+
+    def describe(self) -> str:
+        return (f"seed {self.seed} [{self.config_label}] chain "
+                f"{self.chain or '<empty>'} {self.kind}: {self.detail}\n"
+                f"  repro: {self.repro_command}")
+
+
+@dataclass
+class ScheduleCaseResult:
+    spec: KernelSpec
+    chains: List[Tuple[str, str]] = field(default_factory=list)
+    divergences: List[ScheduleDivergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+@dataclass
+class ScheduleFuzzReport:
+    cases: int = 0
+    chains_run: int = 0
+    directives_applied: int = 0
+    divergences: List[ScheduleDivergence] = field(default_factory=list)
+    seconds: float = 0.0
+    budget_exhausted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "DIVERGED"
+        return (f"schedule fuzz: {self.cases} cases, {self.chains_run} "
+                f"chains ({self.directives_applied} directives applied), "
+                f"{len(self.divergences)} divergences, "
+                f"{self.seconds:.1f}s [{status}]")
+
+
+class ScheduleFuzzFarm:
+    """Drives N seeds through random legal schedule chains + verify()."""
+
+    def __init__(self, seeds=None, *, count: Optional[int] = None,
+                 start: int = 0,
+                 generator_config: GeneratorConfig = DEFAULT_CONFIG,
+                 session: Optional[Session] = None,
+                 time_budget: Optional[float] = None):
+        if seeds is None:
+            seeds = range(start, start + (count if count is not None else 25))
+        self.seeds = list(seeds)
+        self.generator_config = generator_config
+        self.session = session if session is not None else Session()
+        self.time_budget = time_budget
+
+    def run_case(self, spec: KernelSpec) -> ScheduleCaseResult:
+        result = ScheduleCaseResult(spec=spec)
+        program = self.session.compile(spec.render())
+        for config in default_schedule_matrix(spec):
+            rng = random.Random(f"{spec.seed}/{config.label}")
+            chain_text = "<underived>"
+            try:
+                base = program.lower(config.backend, **dict(config.options))
+                schedule = draw_chain(rng, spec, base.schedule(),
+                                      config.directives)
+                chain_text = describe_chain(schedule.chain)
+                result.chains.append((config.label, chain_text))
+                if not schedule.chain:
+                    continue
+                schedule.verify(entry=spec.entry)
+            except ScheduleVerificationError as err:
+                result.divergences.append(ScheduleDivergence(
+                    seed=spec.seed, config_label=config.label,
+                    chain=chain_text, kind="verify",
+                    detail=str(err).splitlines()[0]))
+            except Exception as err:  # noqa: BLE001 — a crash IS a finding
+                result.divergences.append(ScheduleDivergence(
+                    seed=spec.seed, config_label=config.label,
+                    chain=chain_text, kind="error",
+                    detail=f"{type(err).__name__}: {err}"))
+        return result
+
+    def run(self, on_case=None) -> ScheduleFuzzReport:
+        report = ScheduleFuzzReport()
+        started = time.perf_counter()
+        for position, seed in enumerate(self.seeds):
+            if (self.time_budget is not None
+                    and time.perf_counter() - started > self.time_budget):
+                report.budget_exhausted = True
+                break
+            spec = generate_spec(seed, self.generator_config)
+            result = self.run_case(spec)
+            report.cases += 1
+            report.chains_run += len(result.chains)
+            report.directives_applied += sum(
+                chain.count("(") for _, chain in result.chains)
+            report.divergences.extend(result.divergences)
+            if on_case is not None:
+                on_case(result)
+        report.seconds = time.perf_counter() - started
+        return report
+
+
+__all__ = [
+    "ScheduleConfig",
+    "ScheduleDivergence",
+    "ScheduleCaseResult",
+    "ScheduleFuzzReport",
+    "ScheduleFuzzFarm",
+    "default_schedule_matrix",
+    "draw_chain",
+]

@@ -51,7 +51,8 @@ from .gpu_runtime import SimulatedGPU
 from .kernel_compiler import EXECUTION_MODES, KernelCompiler
 from .memory import ElementRef, MemoryBuffer, numpy_dtype_for
 from .mpi_runtime import CartesianDecomposition, SimulatedCommunicator
-from .parallel_executor import ParallelExecutor, get_executor, plan_tiles
+from .parallel_executor import (ParallelExecutor, get_executor, plan_boxes,
+                                plan_tiles)
 
 
 class InterpreterError(Exception):
@@ -178,6 +179,8 @@ class Interpreter:
             "parallel_sweeps": 0,
             "parallel_tiles": 0,
             "parallel_fallbacks": 0,
+            "schedule_tiles": 0,
+            "schedule_fallbacks": 0,
             "gpu_seconds": 0.0,
             "transfer_seconds": 0.0,
             "gpu_launches_vectorized": 0,
@@ -784,10 +787,11 @@ class Interpreter:
         if any(u <= l for l, u in zip(lowers, uppers)):
             return True  # empty iteration space: nothing to execute
         schedule, chunk = self._nest_schedule(op)
+        tile_sizes = self._schedule_tile(op, len(lowers))
 
         def vector_runner() -> None:
             self._run_nest_kernel(kernel, externals, lowers, uppers,
-                                  schedule, chunk)
+                                  schedule, chunk, tile_sizes)
 
         if self.execution_mode == "crosscheck":
             self._crosscheck_nest(kernel, externals, vector_runner, scalar_runner)
@@ -804,9 +808,23 @@ class Interpreter:
             return op.schedule, op.chunk_size
         return "static", None
 
+    @staticmethod
+    def _schedule_tile(op: Operation,
+                       rank: int) -> Optional[Tuple[int, ...]]:
+        """Tile sizes recorded by a ``.tile(...)`` schedule directive.
+        The attribute is placement policy (excluded from the kernel cache
+        key); a rank mismatch simply disables it — the schedule layer
+        validates ranks loudly at lower time."""
+        attr = op.get_attr_or_none("schedule.tile")
+        if attr is None:
+            return None
+        sizes = attr.as_tuple()
+        return sizes if len(sizes) == rank else None
+
     def _run_nest_kernel(self, kernel, externals, lowers, uppers,
                          schedule: str = "static",
-                         chunk: Optional[int] = None) -> None:
+                         chunk: Optional[int] = None,
+                         tile_sizes: Optional[Tuple[int, ...]] = None) -> None:
         """One sweep of a compiled nest kernel: tiled across the persistent
         thread pool when a multi-thread executor is configured and the kernel
         is provably tile-safe, single whole-domain invocation otherwise.
@@ -820,6 +838,30 @@ class Interpreter:
         counted in ``stats["parallel_fallbacks"]``.
         """
         start = _time.perf_counter()
+        if tile_sizes is not None:
+            boxes = plan_boxes(lowers, uppers, tile_sizes)
+            if len(boxes) > 1:
+                # A nest kernel whose guards passed has no load/store
+                # aliasing and stores that cover every dimension, so the
+                # boxes write disjoint regions and read unwritten ones: any
+                # execution order (including concurrent) is bitwise equal to
+                # the single whole-domain call.
+                def run_box(box) -> None:
+                    kernel.fn(externals, list(box[0]), list(box[1]))
+
+                if (self._executor is not None and self.threads > 1
+                        and kernel.stores and all(
+                            any(dim == 0 for dim, _ in axes)
+                            for _, axes in kernel.stores)):
+                    self._executor.run_tiles(run_box, boxes)
+                else:
+                    for box in boxes:
+                        run_box(box)
+                self.stats["schedule_tiles"] += len(boxes)
+                if self.kernels is not None and kernel.label:
+                    self.kernels.record_invocation(
+                        kernel.label, _time.perf_counter() - start)
+                return
         tiles = None
         if self._executor is not None and self.threads > 1:
             if kernel.stores and all(
@@ -890,7 +932,8 @@ class Interpreter:
         if not kernel.apply_guards_pass(externals, lb, ub):
             self.stats["vectorize_fallbacks"] += 1
             return None
-        results = self._run_apply_kernel(kernel, externals, lb, ub)
+        tile_sizes = self._schedule_tile(op, len(lb))
+        results = self._run_apply_kernel(kernel, externals, lb, ub, tile_sizes)
         if self.execution_mode == "crosscheck":
             reference = self._run_apply_scalar(op, frame, lb, ub)
             for vec, ref in zip(results, reference):
@@ -905,7 +948,9 @@ class Interpreter:
         return results
 
     def _run_apply_kernel(self, kernel, externals, lb: Tuple[int, ...],
-                          ub: Tuple[int, ...]) -> List[object]:
+                          ub: Tuple[int, ...],
+                          tile_sizes: Optional[Tuple[int, ...]] = None
+                          ) -> List[object]:
         """One sweep of a compiled apply kernel, tiled along dimension 0
         across the thread pool when possible.
 
@@ -924,20 +969,35 @@ class Interpreter:
         fully or have size 1 there, so the per-tile shape check below
         separates the two — provided every tile spans at least 2 rows (at
         tile extent 1 the sizes coincide), which the plan must satisfy.
+
+        A ``.tile(...)`` schedule directive takes precedence over the
+        thread plan: the sweep runs over user-shaped cache boxes (see
+        :meth:`_run_apply_boxes`) and falls through to the paths below only
+        when a result's shape refuses box assembly.
         """
         start = _time.perf_counter()
-        tiles = None
-        if (
-            self._executor is not None
-            and self.threads > 1
-            and kernel.tileable
-            and kernel.result_is_array
-            and all(kernel.result_is_array)
-        ):
-            tiles = plan_tiles(lb[0], ub[0], self.threads)
-            if any(tile_ub - tile_lb < 2 for tile_lb, tile_ub in tiles):
-                tiles = None
         try:
+            if (
+                tile_sizes is not None
+                and kernel.box_tileable
+                and kernel.result_is_array
+                and all(kernel.result_is_array)
+            ):
+                boxed = self._run_apply_boxes(kernel, externals, lb, ub,
+                                              tile_sizes)
+                if boxed is not None:
+                    return boxed
+            tiles = None
+            if (
+                self._executor is not None
+                and self.threads > 1
+                and kernel.tileable
+                and kernel.result_is_array
+                and all(kernel.result_is_array)
+            ):
+                tiles = plan_tiles(lb[0], ub[0], self.threads)
+                if any(tile_ub - tile_lb < 2 for tile_lb, tile_ub in tiles):
+                    tiles = None
             if tiles is None or len(tiles) <= 1:
                 if self.threads > 1:
                     self.stats["parallel_fallbacks"] += 1
@@ -968,6 +1028,51 @@ class Interpreter:
             if self.kernels is not None and kernel.label:
                 self.kernels.record_invocation(kernel.label,
                                                _time.perf_counter() - start)
+
+    def _run_apply_boxes(self, kernel, externals, lb: Tuple[int, ...],
+                         ub: Tuple[int, ...],
+                         tile_sizes: Tuple[int, ...]) -> Optional[List[object]]:
+        """Run an apply kernel over ``schedule.tile``-shaped sub-boxes and
+        assemble whole-domain results by slab assignment.
+
+        Pure elementwise kernels compute bit-identical values on any
+        sub-box, so assembly is exact.  Every per-box result must match the
+        box shape exactly; a result that broadcasts along a tiled dimension
+        (e.g. built purely from ``stencil.index`` of another dimension)
+        returns ``None`` — the caller recomputes whole-domain — and the
+        refusal is memoised on the kernel (``box_tileable``), mirroring the
+        dim-0 ``tileable`` flag.
+        """
+        boxes = plan_boxes(lb, ub, tile_sizes)
+        if len(boxes) <= 1:
+            return None
+
+        def run_box(box) -> List[object]:
+            return kernel.fn(externals, box[0], box[1])
+
+        if self._executor is not None and self.threads > 1:
+            partials = self._executor.map_tiles(run_box, boxes)
+        else:
+            partials = [run_box(box) for box in boxes]
+        for box, partial in zip(boxes, partials):
+            shape = tuple(u - l for l, u in zip(box[0], box[1]))
+            if any(np.shape(value) != shape for value in partial):
+                kernel.box_tileable = False
+                self.stats["schedule_fallbacks"] += 1
+                return None
+        domain = tuple(u - l for l, u in zip(lb, ub))
+        results: List[object] = []
+        for i in range(len(partials[0])):
+            out = np.empty(domain, dtype=np.asarray(partials[0][i]).dtype)
+            for box, partial in zip(boxes, partials):
+                slices = tuple(
+                    slice(box_l - l, box_u - l)
+                    for l, box_l, box_u in zip(lb, box[0], box[1])
+                )
+                out[slices] = partial[i]
+            results.append(out)
+        self.stats["schedule_tiles"] += len(boxes)
+        return results
 
     # ------------------------------------------------------------------
     # stencil handlers (vectorised execution)

@@ -94,7 +94,8 @@ class KernelUnsupported(Exception):
 #: interpreter reads the policy off the op at dispatch time.  The gpu stream
 #: assignment and prefetch tags are likewise runtime placement policy.
 _METADATA_ATTRS = frozenset({"stencil.vectorizable", "omp.schedule",
-                             "omp.chunk_size", "gpu.stream", "gpu.prefetch"})
+                             "omp.chunk_size", "gpu.stream", "gpu.prefetch",
+                             "schedule.tile"})
 
 
 def structural_hash(op: Operation) -> str:
@@ -300,6 +301,9 @@ class CompiledKernel:
         #: broadcasts along dim 0 (a structural property, so the refusal
         #: holds for every later sweep of this — possibly shared — kernel).
         self.tileable = True
+        #: Same memo for the multi-dimensional ``schedule.tile`` box path:
+        #: cleared when a per-box result shape refuses slab assembly.
+        self.box_tileable = True
 
     # -- runtime guards ----------------------------------------------------
 

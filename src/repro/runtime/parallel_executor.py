@@ -110,6 +110,38 @@ def plan_tiles(
     return [(p, min(p + chunk, upper)) for p in range(lower, upper, chunk)]
 
 
+def plan_boxes(
+    lowers: Sequence[int],
+    uppers: Sequence[int],
+    sizes: Sequence[int],
+) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Partition the box ``[lowers, uppers)`` into ``sizes``-shaped sub-boxes.
+
+    The multi-dimensional counterpart of :func:`plan_tiles`, backing the
+    ``schedule.tile`` directive: boxes are returned in lexicographic domain
+    order, are mutually disjoint, and their union is exactly the input box
+    (edge boxes are clipped).  Returns an empty list for an empty domain.
+    """
+    if len(lowers) != len(uppers) or len(lowers) != len(sizes):
+        raise ValueError("plan_boxes: lowers/uppers/sizes rank mismatch")
+    if any(s < 1 for s in sizes):
+        raise ValueError(f"plan_boxes: tile sizes must be positive, got {sizes}")
+    if any(u <= l for l, u in zip(lowers, uppers)):
+        return []
+    per_dim = [
+        [(p, min(p + size, upper)) for p in range(lower, upper, size)]
+        for lower, upper, size in zip(lowers, uppers, sizes)
+    ]
+    boxes: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = [((), ())]
+    for spans in per_dim:
+        boxes = [
+            (lb + (span_lb,), ub + (span_ub,))
+            for lb, ub in boxes
+            for span_lb, span_ub in spans
+        ]
+    return boxes
+
+
 def tree_combine(partials: Sequence[object], combine: Callable) -> object:
     """Combine per-tile partials pairwise in tile order.
 
@@ -189,6 +221,7 @@ def get_executor(threads: int) -> ParallelExecutor:
 __all__ = [
     "SCHEDULE_KINDS",
     "plan_tiles",
+    "plan_boxes",
     "tree_combine",
     "ParallelExecutor",
     "get_executor",

@@ -1,0 +1,31 @@
+"""User-schedulable kernels: composable schedule transforms on compiled
+handles, with oracle-proven equivalence (``Schedule.verify()``).
+
+The light pieces (directive grammar, errors) import eagerly;
+:class:`Schedule` itself is lazy because it pulls in the runtime stack.
+"""
+
+from .directives import (
+    DIRECTIVES,
+    ScheduleError,
+    describe_chain,
+    normalize_schedule_chain,
+)
+
+__all__ = [
+    "DIRECTIVES",
+    "ScheduleError",
+    "ScheduleVerificationError",
+    "Schedule",
+    "describe_chain",
+    "normalize_schedule_chain",
+    "synthesize_args",
+]
+
+
+def __getattr__(name):
+    if name in ("Schedule", "ScheduleVerificationError", "synthesize_args"):
+        from . import schedule
+
+        return getattr(schedule, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

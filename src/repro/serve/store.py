@@ -273,7 +273,12 @@ class ArtifactStore:
 
     def entries(self) -> List[Tuple[str, int, float]]:
         """Current entries as ``(digest, total bytes, sidecar mtime)``,
-        least-recently-used first."""
+        least-recently-used first.
+
+        Coarse filesystem timestamps routinely give several entries the same
+        mtime; the digest is the tiebreak, so the ordering — and therefore
+        which entry an over-cap store evicts — is deterministic across runs
+        and platforms instead of directory-enumeration order."""
         found = []
         for meta_path in self._dir.glob("*.json"):
             digest = meta_path.stem
@@ -286,7 +291,7 @@ class ArtifactStore:
             except OSError:
                 continue
             found.append((digest, size, stat.st_mtime))
-        found.sort(key=lambda item: item[2])
+        found.sort(key=lambda item: (item[2], item[0]))
         return found
 
     def total_bytes(self) -> int:
@@ -304,7 +309,7 @@ class ArtifactStore:
         entries = self.entries()
         total = sum(size for _, size, _ in entries)
         if keep is not None:
-            entries.sort(key=lambda item: (item[0] == keep, item[2]))
+            entries.sort(key=lambda item: (item[0] == keep, item[2], item[0]))
         for digest, size, _ in entries:
             if total <= self.max_bytes:
                 break

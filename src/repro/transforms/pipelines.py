@@ -54,29 +54,41 @@ def openmp_pipeline(schedule: str = "static",
 #: the default (static) worksharing schedule.
 OPENMP_PIPELINE = openmp_pipeline()
 
+def gpu_pipeline(tile_sizes: Sequence[int] = (32, 32, 1)) -> str:
+    """The paper's GPU pipeline (Listing 4) with explicit parallel-loop tile
+    sizes, e.g. ``gpu_pipeline((16, 16))`` for a rank-2 kernel."""
+    sizes = ",".join(str(int(t)) for t in tile_sizes)
+    return (
+        "test-math-algebraic-simplification,"
+        f"scf-parallel-loop-tiling{{parallel-loop-tile-sizes={sizes}}},"
+        "canonicalize,"
+        "test-expand-math,"
+        "gpu-map-parallel-loops,"
+        "convert-parallel-loops-to-gpu,"
+        "fold-memref-alias-ops,"
+        "finalize-memref-to-llvm{index-bitwidth=64 use-opaque-pointers=false},"
+        "lower-affine,"
+        "gpu-kernel-outlining,"
+        "gpu-async-region,"
+        "canonicalize,"
+        "convert-arith-to-llvm{index-bitwidth=64},"
+        "convert-scf-to-cf,"
+        "convert-cf-to-llvm{index-bitwidth=64},"
+        "reconcile-unrealized-casts"
+    )
+
+
+def gpu_stencil_pipeline(tile_sizes: Sequence[int] = (32, 32, 1)) -> str:
+    """:func:`gpu_pipeline` operating at the stencil level."""
+    return "convert-stencil-to-scf{target=gpu}," + gpu_pipeline(tile_sizes)
+
+
 #: The paper's GPU pipeline (Listing 4), flattened: tiling, GPU mapping,
 #: kernel outlining, memref/arith/scf lowering stand-ins and cast reconciliation.
-GPU_PIPELINE = (
-    "test-math-algebraic-simplification,"
-    "scf-parallel-loop-tiling{parallel-loop-tile-sizes=32,32,1},"
-    "canonicalize,"
-    "test-expand-math,"
-    "gpu-map-parallel-loops,"
-    "convert-parallel-loops-to-gpu,"
-    "fold-memref-alias-ops,"
-    "finalize-memref-to-llvm{index-bitwidth=64 use-opaque-pointers=false},"
-    "lower-affine,"
-    "gpu-kernel-outlining,"
-    "gpu-async-region,"
-    "canonicalize,"
-    "convert-arith-to-llvm{index-bitwidth=64},"
-    "convert-scf-to-cf,"
-    "convert-cf-to-llvm{index-bitwidth=64},"
-    "reconcile-unrealized-casts"
-)
+GPU_PIPELINE = gpu_pipeline()
 
 #: GPU pipeline operating at the stencil level (coalesced parallel loops).
-GPU_STENCIL_PIPELINE = "convert-stencil-to-scf{target=gpu}," + GPU_PIPELINE
+GPU_STENCIL_PIPELINE = gpu_stencil_pipeline()
 
 #: Distributed-memory lowering via the DMP and MPI dialects.
 DMP_PIPELINE = "convert-stencil-to-dmp,convert-dmp-to-mpi,canonicalize"
@@ -128,6 +140,8 @@ __all__ = [
     "openmp_pipeline",
     "GPU_PIPELINE",
     "GPU_STENCIL_PIPELINE",
+    "gpu_pipeline",
+    "gpu_stencil_pipeline",
     "DMP_PIPELINE",
     "PIPELINES",
     "pipeline_for",

@@ -32,6 +32,7 @@ from repro.runtime.kernel_compiler import structural_hash
 from repro.runtime.parallel_executor import (
     ParallelExecutor,
     get_executor,
+    plan_boxes,
     plan_tiles,
     tree_combine,
 )
@@ -101,6 +102,53 @@ class TestPlanTiles:
             plan_tiles(0, 10, 2, "fastest")
         with pytest.raises(ValueError, match="chunk"):
             plan_tiles(0, 10, 2, "dynamic", chunk=0)
+
+    @pytest.mark.parametrize("extent, threads", [
+        (5, 8),    # extent < threads
+        (10, 4),   # extent < 8 * threads: the default chunk would be 0
+        (31, 4),
+        (1, 16),
+    ])
+    def test_dynamic_default_chunk_clamps_to_one(self, extent, threads):
+        # Regression: extent // (8 * threads) == 0 for small sweeps; an
+        # unclamped chunk of 0 made range() produce no tiles at all.
+        tiles = plan_tiles(0, extent, threads, "dynamic")
+        _assert_exact_cover(tiles, 0, extent)
+        assert all(ub - lb == 1 for lb, ub in tiles)
+
+
+class TestPlanBoxes:
+    def test_lexicographic_disjoint_exact_cover(self):
+        boxes = plan_boxes((0, 0), (5, 7), (2, 3))
+        assert boxes == [
+            ((0, 0), (2, 3)), ((0, 3), (2, 6)), ((0, 6), (2, 7)),
+            ((2, 0), (4, 3)), ((2, 3), (4, 6)), ((2, 6), (4, 7)),
+            ((4, 0), (5, 3)), ((4, 3), (5, 6)), ((4, 6), (5, 7)),
+        ]
+        # Union is exactly the domain, each cell covered once.
+        cover = np.zeros((5, 7), dtype=int)
+        for lb, ub in boxes:
+            cover[lb[0]:ub[0], lb[1]:ub[1]] += 1
+        assert (cover == 1).all()
+
+    def test_edge_boxes_are_clipped(self):
+        boxes = plan_boxes((1,), (10,), (4,))
+        assert boxes == [((1,), (5,)), ((5,), (9,)), ((9,), (10,))]
+
+    def test_oversized_tile_is_one_box(self):
+        assert plan_boxes((2, 2), (6, 6), (64, 64)) == [((2, 2), (6, 6))]
+
+    def test_empty_domain(self):
+        assert plan_boxes((0, 0), (4, 0), (2, 2)) == []
+        assert plan_boxes((3,), (3,), (1,)) == []
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rank mismatch"):
+            plan_boxes((0, 0), (4, 4), (2,))
+
+    def test_non_positive_sizes_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            plan_boxes((0,), (4,), (0,))
 
 
 # ---------------------------------------------------------------------------

@@ -301,3 +301,31 @@ class TestLRUEviction:
         cold.lower(source, "cpu")
         assert cold.cache_stats["misses"] == 1
         assert cold.cache_stats["disk_hits"] == 0
+
+    def test_same_mtime_eviction_is_deterministic(self, tmp_path):
+        # Coarse filesystem clocks routinely stamp several entries with one
+        # mtime; eviction used to fall back to directory-enumeration order.
+        # The digest tiebreak makes the victim a pure function of the keys.
+        def populate(root):
+            store = ArtifactStore(root)
+            keys = self._save_n(store, 3)
+            for key, _, _ in keys:
+                _, meta_path = _entry_paths(store, key)
+                os.utime(meta_path, (1000.0, 1000.0))
+            return store, keys
+
+        survivors = []
+        for attempt in range(2):
+            store, keys = populate(tmp_path / f"run{attempt}")
+            sizes = {digest: size for digest, size, _ in store.entries()}
+            store.max_bytes = sum(sizes.values()) - 1
+            store._evict_to_cap()
+            assert store.stats["evictions"] == 1
+            survivors.append(sorted(d for d, _, _ in store.entries()))
+            # entries() itself lists the tied entries digest-ordered.
+            listed = [d for d, _, _ in store.entries()]
+            assert listed == sorted(listed)
+            # The victim is the lexicographically smallest digest.
+            victim = min(key_digest(key) for key, _, _ in keys)
+            assert victim not in set(listed)
+        assert survivors[0] == survivors[1]

@@ -136,34 +136,48 @@ class TestMultipleCallSites:
 
 
 class TestTileAnnotations:
-    """`_annotate_kernel_launch` must normalise any tile rank against any
-    domain rank."""
+    """``tile_sizes`` is validated against every kernel's rank at lower time;
+    ``None`` adapts the paper's (32, 32, 1) default to the kernel's rank."""
 
-    def test_short_tile_tuple_padded_to_three_dims(self, small_gs_source):
-        compiled = repro.Session().compile(small_gs_source).lower(
-            "gpu", tile_sizes=(4,)
-        )
-        func_op = compiled.stencil_module.get_symbol(
-            compiled.extracted_functions[0]
-        )
-        block = func_op.get_attr("gpu.block").as_tuple()
-        grid = func_op.get_attr("gpu.grid").as_tuple()
-        assert block == (4, 1, 1)  # missing tile entries default to 1
-        domain = (8, 8, 8)  # n=10 minus boundaries
-        for d in range(3):
-            assert grid[d] * block[d] >= domain[d]
+    def test_rank_mismatched_tile_sizes_rejected_at_lower_time(
+            self, small_gs_source):
+        # Historically a 1-entry tile on a rank-3 kernel was silently padded
+        # with 1s; now it is a loud error naming the kernel and its rank.
+        with pytest.raises(repro.OptionError,
+                           match=r"1 entry but kernel '\S+' has rank 3"):
+            repro.Session().compile(small_gs_source).lower(
+                "gpu", tile_sizes=(4,)
+            )
 
-    def test_three_entry_tile_on_two_d_domain(self, listing1_source):
-        compiled = repro.Session().compile(listing1_source).lower(
-            "gpu", tile_sizes=(32, 32, 8)
-        )
-        func_op = compiled.stencil_module.get_symbol(
-            compiled.extracted_functions[0]
-        )
-        # The 2-D (14, 14) domain clips the 32x32 tile; the z entry is
-        # beyond the domain rank and collapses to 1.
+    def test_three_entry_tile_on_two_d_domain_rejected(self, listing1_source):
+        with pytest.raises(repro.OptionError,
+                           match=r"3 entries but kernel '\S+' has rank 2"):
+            repro.Session().compile(listing1_source).lower(
+                "gpu", tile_sizes=(32, 32, 8)
+            )
+
+    def test_default_tile_sizes_adapt_to_kernel_rank(self, small_gs_source,
+                                                     listing1_source):
+        session = repro.Session()
+        rank3 = session.compile(small_gs_source).lower("gpu")
+        func_op = rank3.stencil_module.get_symbol(rank3.extracted_functions[0])
+        # (32, 32, 1) adapted to rank 3, clipped to the 8x8x8 interior.
+        assert func_op.get_attr("gpu.block").as_tuple() == (8, 8, 1)
+
+        rank2 = session.compile(listing1_source).lower("gpu")
+        func_op = rank2.stencil_module.get_symbol(rank2.extracted_functions[0])
+        # (32, 32, 1)[:2], clipped to the (14, 14) domain by the annotator.
         assert func_op.get_attr("gpu.block").as_tuple() == (14, 14, 1)
-        assert func_op.get_attr("gpu.grid").as_tuple() == (1, 1, 1)
+
+    def test_matching_explicit_tile_sizes_still_accepted(self,
+                                                         small_gs_source):
+        compiled = repro.Session().compile(small_gs_source).lower(
+            "gpu", tile_sizes=(4, 4, 4)
+        )
+        func_op = compiled.stencil_module.get_symbol(
+            compiled.extracted_functions[0]
+        )
+        assert func_op.get_attr("gpu.block").as_tuple() == (4, 4, 4)
 
     def test_oversized_tile_tuple_is_truncated(self):
         fn = FuncOp.build("no_apply", [], [])
